@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one quantitative claim (experiment ids E1-E10 and
+ablations A1-A3 in DESIGN.md).  The overlays used repeatedly are built once
+per session; each benchmark prints a small table with its measurements so the
+numbers recorded in EXPERIMENTS.md can be reproduced by running
+``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+import pytest
+
+from repro.network.topology import random_regular_overlay
+
+
+@pytest.fixture(scope="session")
+def overlay_1000():
+    """The paper's evaluation overlay: 1,000 peers, Bitcoin-like degree 8."""
+    return random_regular_overlay(1000, degree=8, seed=42)
+
+
+@pytest.fixture(scope="session")
+def overlay_200():
+    """A smaller overlay used by the attack experiments to keep runs fast."""
+    return random_regular_overlay(200, degree=8, seed=43)
+
+
+@pytest.fixture(scope="session")
+def overlay_100():
+    """A small overlay for parameter sweeps with many repetitions."""
+    return random_regular_overlay(100, degree=8, seed=44)

@@ -1,0 +1,67 @@
+"""E2 — §V-A: the DC-net phase costs O(k²) messages per round.
+
+The paper states Phase 1 incurs O(k²) messages periodically and proposes the
+32-bit length-announcement round to keep idle rounds cheap.  The benchmark
+measures both: the quadratic per-round message count as the group size grows,
+and the byte savings of announcement rounds over full-frame idle rounds.
+"""
+
+import random
+
+from repro.analysis.reporting import format_table
+from repro.dcnet.group_session import DCNetGroupSession
+from repro.dcnet.round import expected_messages
+
+GROUP_SIZES = [4, 6, 8, 10]
+
+
+def _measure():
+    rows = []
+    for k in GROUP_SIZES:
+        announced = DCNetGroupSession(list(range(k)), random.Random(k))
+        fixed = DCNetGroupSession(
+            list(range(k)), random.Random(k), announcement_rounds=False,
+            fixed_frame_length=256,
+        )
+        idle_announced = announced.run_round()
+        idle_fixed = fixed.run_round()
+        announced.queue_message(0, b"x" * 200)
+        delivery = announced.run_round()
+        rows.append(
+            {
+                "k": k,
+                "per_round_messages": idle_announced.messages_sent,
+                "expected": expected_messages(k),
+                "idle_bytes_announced": idle_announced.bytes_sent,
+                "idle_bytes_fixed": idle_fixed.bytes_sent,
+                "delivery_messages": delivery.messages_sent,
+            }
+        )
+    return rows
+
+
+def test_e2_dcnet_cost(benchmark):
+    rows = benchmark.pedantic(_measure, iterations=1, rounds=1)
+    print()
+    print(
+        format_table(
+            ["k", "msgs/round", "3k(k-1)", "idle bytes (announce)", "idle bytes (full)", "delivery msgs"],
+            [
+                [r["k"], r["per_round_messages"], r["expected"],
+                 r["idle_bytes_announced"], r["idle_bytes_fixed"], r["delivery_messages"]]
+                for r in rows
+            ],
+            title="E2: DC-net per-round cost",
+        )
+    )
+    for row in rows:
+        # Exact O(k^2): every round is 3·k·(k-1) point-to-point messages.
+        assert row["per_round_messages"] == row["expected"]
+        # The announcement optimisation makes idle rounds much cheaper in bytes.
+        assert row["idle_bytes_announced"] < row["idle_bytes_fixed"] / 4
+        # A delivery costs the announcement round plus the payload round.
+        assert row["delivery_messages"] == 2 * row["expected"]
+    # Quadratic growth: doubling k (4 -> 8) should roughly quadruple the cost.
+    cost4 = rows[0]["per_round_messages"]
+    cost8 = rows[2]["per_round_messages"]
+    assert 3.0 <= cost8 / cost4 <= 5.0

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Adversary resistance: botnet deanonymisation across protocols.
+
+Deploys an honest-but-curious botnet controlling 5-30 % of a 200-peer overlay
+and measures how often the first-spy estimator identifies the true originator
+of a transaction when it is broadcast with plain flooding, Dandelion, and the
+paper's three-phase protocol.  This is the measured version of the paper's
+Fig. 1 landscape and Section III motivation.
+
+Run with:  python examples/adversary_resistance.py
+"""
+
+from repro.analysis.experiment import attack_experiment
+from repro.analysis.reporting import format_table
+from repro.core import ProtocolConfig
+from repro.network.topology import random_regular_overlay
+
+
+def main() -> None:
+    overlay = random_regular_overlay(200, degree=8, seed=3)
+    fractions = [0.05, 0.15, 0.30]
+    broadcasts = 10
+    config = ProtocolConfig(group_size=5, diffusion_depth=3)
+
+    rows = []
+    for index, fraction in enumerate(fractions):
+        flood = attack_experiment(
+            overlay, "flood", fraction, broadcasts=broadcasts, seed=50 + index
+        )
+        dandelion = attack_experiment(
+            overlay, "dandelion", fraction, broadcasts=broadcasts, seed=60 + index
+        )
+        three_phase = attack_experiment(
+            overlay, "three_phase", fraction, broadcasts=broadcasts,
+            seed=70 + index, config=config,
+        )
+        rows.append(
+            [
+                f"{fraction:.0%}",
+                flood.detection.detection_probability,
+                dandelion.detection.detection_probability,
+                three_phase.detection.detection_probability,
+            ]
+        )
+
+    print(
+        format_table(
+            ["adversary", "flood", "dandelion", "three-phase (this paper)"],
+            rows,
+            title=(
+                "Probability that a botnet first-spy attack identifies the "
+                f"originator ({broadcasts} transactions per cell)"
+            ),
+        )
+    )
+    print()
+    print(
+        "The three-phase protocol additionally guarantees sender "
+        f"{config.group_size}-anonymity against arbitrarily large observer "
+        "coalitions (the cryptographic floor of Phase 1); the topological "
+        "protocols provide no such floor."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: broadcast one transaction with the three-phase protocol.
+
+Builds a Bitcoin-like overlay of 300 peers, runs the paper's protocol
+(DC-net group of k=5, adaptive diffusion of depth d=4, flood-and-prune) for a
+single transaction and prints what happened in each phase.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import Phase, ProtocolConfig, ThreePhaseBroadcast
+from repro.network.topology import random_regular_overlay
+
+
+def main() -> None:
+    overlay = random_regular_overlay(300, degree=8, seed=1)
+    config = ProtocolConfig(group_size=5, diffusion_depth=4)
+    protocol = ThreePhaseBroadcast(overlay, config, seed=2)
+
+    result = protocol.broadcast(source=17, payload=b"alice pays bob 3 coins")
+
+    print("Three-phase privacy-preserving broadcast")
+    print("=" * 48)
+    print(f"network size          : {overlay.number_of_nodes()} peers")
+    print(f"originator (secret)   : node {result.source}")
+    print(f"DC-net group          : {result.group}")
+    print(f"initial virtual source: node {result.virtual_source} (hash-selected)")
+    print(f"delivered fraction    : {result.delivered_fraction:.1%}")
+    print(f"completion time       : {result.completion_time:.2f} simulated time units")
+    print()
+    print("messages per phase")
+    for phase in (Phase.DC_NET, Phase.ADAPTIVE_DIFFUSION, Phase.FLOOD):
+        start = result.timeline.start_of(phase)
+        print(
+            f"  {phase.value:<20} {result.messages_by_phase[phase]:>6} messages"
+            f"   (starts at t={start:.2f})"
+        )
+    print(f"  {'total':<20} {result.messages_total:>6} messages")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments where the PEP-517 build path (which needs the ``wheel`` package)
+is unavailable.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'A Flexible Network Approach to Privacy of "
+        "Blockchain Transactions' (Moedinger et al., ICDCS 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["networkx>=2.6", "numpy>=1.21"],
+)

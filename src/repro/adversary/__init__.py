@@ -1,0 +1,34 @@
+"""Adversary models: honest-but-curious observers and source estimators.
+
+The paper's attacker (Section IV-A) follows the protocol and only analyses
+what it legitimately observes.  Its power comes from scale: by deploying a
+botnet it controls a fraction of the network's nodes and records the arrival
+time and previous hop of every message those nodes receive (the attack of
+Biryukov et al. the paper cites).
+
+* :mod:`repro.adversary.botnet` — choosing/injecting the observer nodes.
+* :mod:`repro.adversary.observer` — collecting the observations visible to
+  the adversary from a simulation run.
+* :mod:`repro.adversary.first_spy` — the first-spy (first-timestamp)
+  estimator used against broadcast protocols.
+* :mod:`repro.adversary.rumor_centrality` — the maximum-likelihood rumor
+  source estimator (Shah–Zaman) used against diffusion snapshots.
+* :mod:`repro.adversary.collusion` — what colluding DC-net group members
+  learn about the sender within their group.
+"""
+
+from repro.adversary.botnet import BotnetDeployment, deploy_botnet
+from repro.adversary.collusion import group_collusion_posterior
+from repro.adversary.first_spy import FirstSpyEstimator
+from repro.adversary.observer import AdversaryView
+from repro.adversary.rumor_centrality import rumor_centrality, rumor_source_estimate
+
+__all__ = [
+    "BotnetDeployment",
+    "deploy_botnet",
+    "group_collusion_posterior",
+    "FirstSpyEstimator",
+    "AdversaryView",
+    "rumor_centrality",
+    "rumor_source_estimate",
+]

@@ -1,0 +1,94 @@
+"""Botnet deployment: selecting the adversary's observer nodes.
+
+The paper motivates the network-level threat with botnet attacks: an
+adversary cheaply controls a fraction of the peer-to-peer network (around
+20 % in the Biryukov et al. measurement) or injects well-connected
+supernodes, and records who relayed which transaction first.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Set
+
+import networkx as nx
+
+
+@dataclass
+class BotnetDeployment:
+    """The set of nodes under adversary control.
+
+    Attributes:
+        observers: node identities controlled by the adversary.
+        fraction: fraction of the overlay the observers represent.
+        supernodes: identities of injected supernodes (empty when the botnet
+            consists purely of compromised existing nodes).
+    """
+
+    observers: Set[Hashable]
+    fraction: float
+    supernodes: List[Hashable] = field(default_factory=list)
+
+    def is_compromised(self, node: Hashable) -> bool:
+        """Whether ``node`` is under adversary control."""
+        return node in self.observers
+
+
+def deploy_botnet(
+    graph: nx.Graph,
+    fraction: float,
+    rng: random.Random,
+    protected: Optional[Set[Hashable]] = None,
+) -> BotnetDeployment:
+    """Compromise a uniformly random ``fraction`` of the overlay's nodes.
+
+    Args:
+        graph: the overlay.
+        fraction: fraction of nodes to compromise, in ``[0, 1)``.
+        rng: randomness source.
+        protected: nodes that can never be compromised (e.g. the node whose
+            privacy an experiment evaluates).
+
+    Raises:
+        ValueError: if the fraction is out of range.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("the compromised fraction must be in [0, 1)")
+    protected = protected or set()
+    candidates = [node for node in sorted(graph.nodes, key=repr) if node not in protected]
+    count = int(round(fraction * graph.number_of_nodes()))
+    count = min(count, len(candidates))
+    observers = set(rng.sample(candidates, count)) if count else set()
+    return BotnetDeployment(observers=observers, fraction=fraction)
+
+
+def inject_supernodes(
+    graph: nx.Graph,
+    count: int,
+    connections_per_node: int,
+    rng: random.Random,
+    prefix: str = "spy",
+) -> BotnetDeployment:
+    """Add ``count`` highly connected adversary nodes to the overlay.
+
+    The graph is modified in place: each supernode connects to
+    ``connections_per_node`` uniformly chosen existing nodes, mirroring the
+    "few nodes with many interconnects" strategy the paper mentions.
+    """
+    if count < 1 or connections_per_node < 1:
+        raise ValueError("count and connections_per_node must be positive")
+    existing = sorted(graph.nodes, key=repr)
+    if connections_per_node > len(existing):
+        raise ValueError("more connections requested than existing nodes")
+    supernodes: List[Hashable] = []
+    for index in range(count):
+        node_id = f"{prefix}-{index}"
+        graph.add_node(node_id, reachable=True, adversarial=True)
+        for peer in rng.sample(existing, connections_per_node):
+            graph.add_edge(node_id, peer)
+        supernodes.append(node_id)
+    fraction = count / graph.number_of_nodes()
+    return BotnetDeployment(
+        observers=set(supernodes), fraction=fraction, supernodes=supernodes
+    )

@@ -1,0 +1,51 @@
+"""Collusion inside a DC-net group.
+
+If ``c`` of the ``k`` members of a DC-net group are adversarial, the DC-net
+still hides the sender perfectly among the remaining ``ℓ = k - c`` honest
+members (Section V-B: sender ``ℓ``-anonymity).  The colluders can subtract
+their own contributions but learn nothing further — unless every other member
+is compromised, in which case the sender is exposed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Set
+
+
+def group_collusion_posterior(
+    group: Iterable[Hashable],
+    compromised: Iterable[Hashable],
+    true_sender: Hashable,
+) -> Dict[Hashable, float]:
+    """The colluders' posterior over the sender of a group broadcast.
+
+    Args:
+        group: all members of the DC-net group.
+        compromised: the adversarial members.
+        true_sender: ground-truth sender (used only to handle the degenerate
+            case where the sender itself is one of the colluders, in which
+            case there is nothing left to infer).
+
+    Returns:
+        ``{candidate: probability}`` over the candidates the colluders cannot
+        rule out.  Honest members are indistinguishable, so the posterior is
+        uniform over them; if the sender is a colluder the posterior is a
+        point mass on it (the adversary trivially knows its own actions).
+
+    Raises:
+        ValueError: if the sender is not a group member or the group is empty.
+    """
+    members = sorted(set(group), key=repr)
+    if not members:
+        raise ValueError("the group is empty")
+    if true_sender not in members:
+        raise ValueError("the sender must be a member of the group")
+    compromised_set: Set[Hashable] = set(compromised) & set(members)
+
+    if true_sender in compromised_set:
+        return {true_sender: 1.0}
+
+    honest = [m for m in members if m not in compromised_set]
+    # The DC-net output is information-theoretically independent of which
+    # honest member sent, so the posterior over honest members stays uniform.
+    return {member: 1.0 / len(honest) for member in honest}

@@ -1,0 +1,60 @@
+"""The first-spy (first-timestamp) estimator.
+
+The cheapest effective deanonymisation strategy against symmetric broadcast
+protocols: the adversary guesses that the originator of a transaction is the
+first non-adversarial node observed relaying it to any spy.  Against plain
+flooding this is highly accurate once a significant fraction of nodes is
+compromised — the situation depicted in Fig. 2 of the paper — while
+statistical spreading mechanisms (Dandelion, adaptive diffusion) and the
+DC-net phase remove the correlation between "first relayer seen" and
+"originator".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Tuple
+
+from repro.adversary.observer import AdversaryView
+from repro.network.simulator import Simulator
+
+
+class FirstSpyEstimator:
+    """Guess the originator as the first relayer observed by any spy node."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        observers: Iterable[Hashable],
+        kinds: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        self.view = AdversaryView(simulator, observers)
+        self.kinds = kinds
+
+    def guess(self, payload_id: Hashable) -> Optional[Hashable]:
+        """The adversary's single best guess for the originator.
+
+        Returns ``None`` when no spy observed the payload, or when the
+        earliest observation came from another spy (the adversary knows its
+        own nodes did not originate the transaction under the
+        honest-but-curious model and abstains).
+        """
+        candidates = self.view.first_relayers(payload_id, self.kinds)
+        if not candidates:
+            return None
+        return min(candidates.items(), key=lambda item: (item[1], repr(item[0])))[0]
+
+    def posterior(self, payload_id: Hashable) -> Dict[Hashable, float]:
+        """A simple posterior: weight each first-relayer by recency rank.
+
+        The first relayer observed receives the largest weight, later ones
+        exponentially less.  This is a heuristic confidence model used for
+        the entropy-based privacy metrics; the headline detection numbers use
+        :meth:`guess`.
+        """
+        candidates = self.view.first_relayers(payload_id, self.kinds)
+        if not candidates:
+            return {}
+        ranked = sorted(candidates.items(), key=lambda item: (item[1], repr(item[0])))
+        weights = {node: 0.5**rank for rank, (node, _) in enumerate(ranked)}
+        total = sum(weights.values())
+        return {node: weight / total for node, weight in weights.items()}

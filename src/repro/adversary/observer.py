@@ -1,0 +1,81 @@
+"""The honest-but-curious adversary's view of a simulation run.
+
+The adversary controls a set of observer nodes.  Everything those nodes
+receive — message, arrival time, previous hop, whether the message came over
+an overlay link or a direct (group) channel — is available for analysis;
+nothing else is.  :class:`AdversaryView` extracts exactly this slice from a
+finished simulation and offers the queries the estimators need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.network.message import Observation
+from repro.network.simulator import Simulator
+
+
+class AdversaryView:
+    """Read-only view of the observations available to a set of observers."""
+
+    def __init__(
+        self, simulator: Simulator, observers: Iterable[Hashable]
+    ) -> None:
+        self.observers: Set[Hashable] = set(observers)
+        self._observations: List[Observation] = simulator.observations_for(
+            self.observers
+        )
+
+    @property
+    def observations(self) -> List[Observation]:
+        """All deliveries received by observer nodes, in delivery order."""
+        return list(self._observations)
+
+    def observations_of(
+        self,
+        payload_id: Hashable,
+        kinds: Optional[Tuple[str, ...]] = None,
+        include_direct: bool = True,
+    ) -> List[Observation]:
+        """Observations concerning one payload, optionally filtered by kind."""
+        result = []
+        for obs in self._observations:
+            if obs.message.payload_id != payload_id:
+                continue
+            if kinds is not None and obs.message.kind not in kinds:
+                continue
+            if not include_direct and obs.direct:
+                continue
+            result.append(obs)
+        return result
+
+    def first_observation(
+        self,
+        payload_id: Hashable,
+        kinds: Optional[Tuple[str, ...]] = None,
+        include_direct: bool = True,
+    ) -> Optional[Observation]:
+        """The earliest observation of the payload, or ``None``."""
+        candidates = self.observations_of(payload_id, kinds, include_direct)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda obs: (obs.time, obs.message.uid))
+
+    def first_relayers(
+        self,
+        payload_id: Hashable,
+        kinds: Optional[Tuple[str, ...]] = None,
+    ) -> Dict[Hashable, float]:
+        """Earliest time each non-observer node was seen relaying the payload.
+
+        This is the statistic the Biryukov-style attack aggregates: the first
+        non-adversarial peer to forward a transaction to any spy node.
+        """
+        first_seen: Dict[Hashable, float] = {}
+        for obs in self.observations_of(payload_id, kinds):
+            sender = obs.sender
+            if sender is None or sender in self.observers:
+                continue
+            if sender not in first_seen or obs.time < first_seen[sender]:
+                first_seen[sender] = obs.time
+        return first_seen

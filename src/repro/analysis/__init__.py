@@ -1,0 +1,23 @@
+"""Experiment harness helpers: repetitions, statistics and table rendering.
+
+The benchmarks regenerate the paper's quantitative claims by sweeping a
+parameter (adversary fraction, group size, diffusion depth, ...), repeating
+each configuration over several seeds, and printing a small table of the
+aggregated results.  This package contains the shared machinery so every
+benchmark stays a thin, declarative script.
+"""
+
+from repro.analysis.experiment import ExperimentResult, attack_experiment
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import Summary, confidence_interval, summarize
+from repro.analysis.sweep import sweep
+
+__all__ = [
+    "ExperimentResult",
+    "attack_experiment",
+    "format_table",
+    "Summary",
+    "confidence_interval",
+    "summarize",
+    "sweep",
+]

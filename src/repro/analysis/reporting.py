@@ -1,0 +1,43 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats are shown with three decimals; every other value with ``str``.
+    """
+    if not headers:
+        raise ValueError("a table needs at least one column")
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    rendered_rows = [[cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match the header")
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return " | ".join(value.ljust(widths[i]) for i, value in enumerate(values))
+
+    separator = "-+-".join("-" * width for width in widths)
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(separator)
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)

@@ -1,0 +1,53 @@
+"""Summary statistics used by the benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, standard deviation and extrema of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values``.
+
+    Raises:
+        ValueError: if the sample is empty.
+    """
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((v - mean) ** 2 for v in values) / count
+    return Summary(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def confidence_interval(
+    values: Sequence[float], z: float = 1.96
+) -> Tuple[float, float]:
+    """Normal-approximation confidence interval of the sample mean.
+
+    With the default ``z = 1.96`` this is an approximate 95 % interval, which
+    is accurate enough for the benchmark repetition counts used here.
+    """
+    summary = summarize(values)
+    if summary.count == 1:
+        return (summary.mean, summary.mean)
+    half_width = z * summary.std / math.sqrt(summary.count)
+    return (summary.mean - half_width, summary.mean + half_width)

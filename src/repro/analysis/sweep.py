@@ -1,0 +1,45 @@
+"""Parameter sweeps with per-configuration repetitions."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, TypeVar
+
+ParameterValue = TypeVar("ParameterValue")
+
+
+def sweep(
+    values: Sequence[ParameterValue],
+    runner: Callable[[ParameterValue, int], Dict[str, float]],
+    repetitions: int = 3,
+    base_seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Run ``runner(value, seed)`` for every value and repetition.
+
+    Args:
+        values: the parameter values to sweep over.
+        runner: callable returning a flat metric dictionary for one run.
+        repetitions: how many seeds per parameter value.
+        base_seed: seeds are ``base_seed + repetition_index`` offsets per
+            value, so sweeps are reproducible and non-overlapping.
+
+    Returns:
+        One aggregated dictionary per parameter value containing the mean of
+        every metric over the repetitions, plus ``"value"`` (when numeric) and
+        ``"repetitions"`` entries.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be at least 1")
+    results: List[Dict[str, float]] = []
+    for index, value in enumerate(values):
+        runs = [
+            runner(value, base_seed + index * repetitions + repetition)
+            for repetition in range(repetitions)
+        ]
+        aggregated: Dict[str, float] = {}
+        for key in runs[0]:
+            aggregated[key] = sum(run[key] for run in runs) / len(runs)
+        if isinstance(value, (int, float)):
+            aggregated.setdefault("value", float(value))
+        aggregated["repetitions"] = float(repetitions)
+        results.append(aggregated)
+    return results

@@ -1,0 +1,18 @@
+"""Minimal blockchain substrate grounding the examples in the paper's scenario.
+
+Section II of the paper describes the setting: nodes broadcast transactions
+through a peer-to-peer network, miners collect them into blocks, vote via
+proof of work and earn fees.  The privacy protocol protects the *broadcast*;
+this package provides just enough of the surrounding system — transactions,
+wallets, a mempool, blocks, a chain and a simple miner — for the examples and
+integration tests to exercise the protocol in its intended context.
+"""
+
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.miner import Miner
+from repro.blockchain.transaction import Transaction
+from repro.blockchain.wallet import Wallet
+
+__all__ = ["Block", "Blockchain", "Mempool", "Miner", "Transaction", "Wallet"]

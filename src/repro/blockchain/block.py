@@ -1,0 +1,72 @@
+"""Blocks: batches of transactions chained by hashes."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.blockchain.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block of the chain.
+
+    Attributes:
+        height: position in the chain (0 for the genesis block).
+        previous_hash: hash of the preceding block.
+        transactions: transactions included by the miner.
+        miner: address of the block's producer.
+        nonce: proof-of-work nonce found by the miner.
+    """
+
+    height: int
+    previous_hash: str
+    transactions: Sequence[Transaction] = field(default_factory=tuple)
+    miner: str = ""
+    nonce: int = 0
+
+    def header_bytes(self) -> bytes:
+        """Canonical encoding of the block header (what the PoW hashes)."""
+        return json.dumps(
+            {
+                "height": self.height,
+                "previous_hash": self.previous_hash,
+                "merkle": self.merkle_root(),
+                "miner": self.miner,
+                "nonce": self.nonce,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+
+    def merkle_root(self) -> str:
+        """A simple Merkle-style digest over the included transaction ids."""
+        digests: List[str] = [tx.tx_id for tx in self.transactions]
+        if not digests:
+            return hashlib.sha256(b"empty").hexdigest()
+        while len(digests) > 1:
+            if len(digests) % 2 == 1:
+                digests.append(digests[-1])
+            digests = [
+                hashlib.sha256((a + b).encode("utf-8")).hexdigest()
+                for a, b in zip(digests[::2], digests[1::2])
+            ]
+        return digests[0]
+
+    @property
+    def block_hash(self) -> str:
+        """Hash of the block header."""
+        return hashlib.sha256(self.header_bytes()).hexdigest()
+
+    def total_fees(self) -> int:
+        """Sum of the fees of all included transactions (the miner's reward)."""
+        return sum(tx.fee for tx in self.transactions)
+
+    def meets_difficulty(self, difficulty_bits: int) -> bool:
+        """Whether the block hash has ``difficulty_bits`` leading zero bits."""
+        if difficulty_bits < 0:
+            raise ValueError("difficulty must be non-negative")
+        value = int(self.block_hash, 16)
+        return value < (1 << (256 - difficulty_bits))

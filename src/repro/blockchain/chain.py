@@ -1,0 +1,80 @@
+"""The blockchain: an append-only, hash-linked sequence of blocks."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.blockchain.block import Block
+
+#: Previous-hash value of the genesis block.
+GENESIS_PREVIOUS_HASH = "0" * 64
+
+
+class Blockchain:
+    """An append-only ledger with structural validation on append."""
+
+    def __init__(self, difficulty_bits: int = 8) -> None:
+        if difficulty_bits < 0:
+            raise ValueError("difficulty must be non-negative")
+        self.difficulty_bits = difficulty_bits
+        genesis = Block(height=0, previous_hash=GENESIS_PREVIOUS_HASH)
+        self._blocks: List[Block] = [genesis]
+        self._included_tx_ids: Set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def tip(self) -> Block:
+        """The most recently appended block."""
+        return self._blocks[-1]
+
+    @property
+    def blocks(self) -> List[Block]:
+        """All blocks, genesis first."""
+        return list(self._blocks)
+
+    def contains_transaction(self, tx_id: str) -> bool:
+        """Whether a transaction id is already included in some block."""
+        return tx_id in self._included_tx_ids
+
+    def append(self, block: Block) -> None:
+        """Append ``block`` after validating it against the current tip.
+
+        Raises:
+            ValueError: if the block does not extend the tip, fails the
+                proof-of-work check, or re-includes a known transaction.
+        """
+        if block.previous_hash != self.tip.block_hash:
+            raise ValueError("block does not extend the current tip")
+        if block.height != self.tip.height + 1:
+            raise ValueError(
+                f"expected height {self.tip.height + 1}, got {block.height}"
+            )
+        if not block.meets_difficulty(self.difficulty_bits):
+            raise ValueError("block does not meet the proof-of-work difficulty")
+        duplicate = [
+            tx.tx_id for tx in block.transactions if tx.tx_id in self._included_tx_ids
+        ]
+        if duplicate:
+            raise ValueError(f"transactions already included: {duplicate}")
+        self._blocks.append(block)
+        self._included_tx_ids.update(tx.tx_id for tx in block.transactions)
+
+    def validate(self) -> bool:
+        """Re-validate the whole chain (hash links and difficulty)."""
+        for previous, current in zip(self._blocks, self._blocks[1:]):
+            if current.previous_hash != previous.block_hash:
+                return False
+            if current.height != previous.height + 1:
+                return False
+            if not current.meets_difficulty(self.difficulty_bits):
+                return False
+        return True
+
+    def find_block_of(self, tx_id: str) -> Optional[Block]:
+        """The block containing ``tx_id``, or ``None``."""
+        for block in self._blocks:
+            if any(tx.tx_id == tx_id for tx in block.transactions):
+                return block
+        return None

@@ -1,0 +1,71 @@
+"""The mempool: transactions received but not yet included in a block."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.blockchain.transaction import Transaction
+
+
+class Mempool:
+    """A fee-ordered pool of pending transactions."""
+
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        if max_size is not None and max_size < 1:
+            raise ValueError("max_size must be positive when given")
+        self._transactions: Dict[str, Transaction] = {}
+        self._arrival: Dict[str, int] = {}
+        self._counter = 0
+        self.max_size = max_size
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._transactions
+
+    def add(self, transaction: Transaction) -> bool:
+        """Add a transaction; returns ``False`` for duplicates.
+
+        When the pool is full, the lowest-fee transaction is evicted if the
+        newcomer pays more; otherwise the newcomer is rejected.
+        """
+        tx_id = transaction.tx_id
+        if tx_id in self._transactions:
+            return False
+        if self.max_size is not None and len(self._transactions) >= self.max_size:
+            lowest = min(
+                self._transactions.values(), key=lambda tx: (tx.fee, tx.tx_id)
+            )
+            if lowest.fee >= transaction.fee:
+                return False
+            self.remove(lowest.tx_id)
+        self._transactions[tx_id] = transaction
+        self._arrival[tx_id] = self._counter
+        self._counter += 1
+        return True
+
+    def remove(self, tx_id: str) -> Optional[Transaction]:
+        """Remove and return a transaction, or ``None`` if absent."""
+        self._arrival.pop(tx_id, None)
+        return self._transactions.pop(tx_id, None)
+
+    def get(self, tx_id: str) -> Optional[Transaction]:
+        """Look up a pending transaction by id."""
+        return self._transactions.get(tx_id)
+
+    def select_for_block(self, count: int) -> List[Transaction]:
+        """The ``count`` highest-fee transactions (ties: arrival order)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        ranked = sorted(
+            self._transactions.values(),
+            key=lambda tx: (-tx.fee, self._arrival[tx.tx_id]),
+        )
+        return ranked[:count]
+
+    def all_transactions(self) -> List[Transaction]:
+        """All pending transactions in arrival order."""
+        return sorted(
+            self._transactions.values(), key=lambda tx: self._arrival[tx.tx_id]
+        )

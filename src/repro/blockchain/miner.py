@@ -1,0 +1,66 @@
+"""A proof-of-work miner assembling blocks from a mempool."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.mempool import Mempool
+
+
+class Miner:
+    """Selects high-fee transactions and searches for a valid nonce.
+
+    The proof of work is genuine (hash below a target) but the default
+    difficulty is tiny so experiments remain fast; the point of the substrate
+    is the *flow* of Section II — transactions must reach miners before they
+    can earn their fees — not hash-rate realism.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        chain: Blockchain,
+        mempool: Mempool,
+        block_size: int = 10,
+        rng: Optional[random.Random] = None,
+        max_attempts: int = 200_000,
+    ) -> None:
+        if block_size < 1:
+            raise ValueError("block size must be at least 1")
+        self.address = address
+        self.chain = chain
+        self.mempool = mempool
+        self.block_size = block_size
+        self.rng = rng or random.Random()
+        self.max_attempts = max_attempts
+        self.earned_fees = 0
+
+    def mine_block(self) -> Optional[Block]:
+        """Assemble and mine one block; returns ``None`` if PoW search fails.
+
+        On success the block is appended to the chain, its transactions are
+        removed from the mempool and the miner's fee account is credited.
+        """
+        transactions = [
+            tx
+            for tx in self.mempool.select_for_block(self.block_size)
+            if not self.chain.contains_transaction(tx.tx_id)
+        ]
+        template = dict(
+            height=self.chain.tip.height + 1,
+            previous_hash=self.chain.tip.block_hash,
+            transactions=tuple(transactions),
+            miner=self.address,
+        )
+        for _ in range(self.max_attempts):
+            candidate = Block(nonce=self.rng.getrandbits(64), **template)
+            if candidate.meets_difficulty(self.chain.difficulty_bits):
+                self.chain.append(candidate)
+                for tx in transactions:
+                    self.mempool.remove(tx.tx_id)
+                self.earned_fees += candidate.total_fees()
+                return candidate
+        return None

@@ -1,0 +1,69 @@
+"""Transactions: the payloads whose broadcast the protocol protects."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A simple value transfer.
+
+    Attributes:
+        sender: address of the paying wallet.
+        recipient: address of the receiving wallet.
+        amount: transferred amount (must be positive).
+        fee: miner fee (non-negative), the incentive of Section II.
+        nonce: sender-chosen counter making otherwise equal transfers distinct.
+    """
+
+    sender: str
+    recipient: str
+    amount: int
+    fee: int = 1
+    nonce: int = 0
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise ValueError("the transferred amount must be positive")
+        if self.fee < 0:
+            raise ValueError("the fee must be non-negative")
+
+    @property
+    def tx_id(self) -> str:
+        """Hex digest identifying this transaction."""
+        return hashlib.sha256(self.serialize()).hexdigest()
+
+    def serialize(self) -> bytes:
+        """Canonical byte encoding (also the broadcast payload)."""
+        return json.dumps(
+            {
+                "sender": self.sender,
+                "recipient": self.recipient,
+                "amount": self.amount,
+                "fee": self.fee,
+                "nonce": self.nonce,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Transaction":
+        """Inverse of :meth:`serialize`.
+
+        Raises:
+            ValueError: if the bytes are not a valid transaction encoding.
+        """
+        try:
+            fields = json.loads(data.decode("utf-8"))
+            return cls(
+                sender=fields["sender"],
+                recipient=fields["recipient"],
+                amount=fields["amount"],
+                fee=fields["fee"],
+                nonce=fields["nonce"],
+            )
+        except (KeyError, TypeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"invalid transaction encoding: {exc}") from exc

@@ -1,0 +1,48 @@
+"""Wallets: addresses and transaction creation."""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Optional
+
+from repro.blockchain.transaction import Transaction
+
+
+class Wallet:
+    """A spending identity with an address and a transaction nonce counter.
+
+    The address is derived by hashing a random identity secret; no real
+    signature scheme is needed for the protocol experiments, but the address
+    derivation mirrors the "hashed identity, e.g., public key" the paper's
+    virtual-source selection rule relies on.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None, label: str = "") -> None:
+        rng = rng or random.Random()
+        secret = bytes(rng.getrandbits(8) for _ in range(32))
+        self._secret = secret
+        self.label = label
+        self.address = hashlib.sha256(b"wallet|" + secret).hexdigest()[:40]
+        self._nonce = 0
+
+    def create_transaction(
+        self, recipient: "Wallet | str", amount: int, fee: int = 1
+    ) -> Transaction:
+        """Create a transfer to ``recipient`` and advance the nonce."""
+        recipient_address = (
+            recipient.address if isinstance(recipient, Wallet) else recipient
+        )
+        transaction = Transaction(
+            sender=self.address,
+            recipient=recipient_address,
+            amount=amount,
+            fee=fee,
+            nonce=self._nonce,
+        )
+        self._nonce += 1
+        return transaction
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        suffix = f" {self.label}" if self.label else ""
+        return f"Wallet({self.address[:8]}…{suffix})"

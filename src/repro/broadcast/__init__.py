@@ -1,0 +1,27 @@
+"""Baseline dissemination protocols: flood-and-prune, gossip and Dandelion.
+
+These are the comparison points of the paper's evaluation:
+
+* flood-and-prune (:mod:`repro.broadcast.flood`) is both the efficiency
+  baseline (Section V-A) and Phase 3 of the proposed protocol;
+* probabilistic gossip (:mod:`repro.broadcast.gossip`) is a common
+  lower-overhead alternative included for the ablation benchmarks;
+* Dandelion (:mod:`repro.broadcast.dandelion`) is the topological privacy
+  mechanism of Section III-A: a stem phase along a line graph followed by a
+  fluff phase using plain flooding.
+"""
+
+from repro.broadcast.dandelion import DandelionConfig, DandelionNode, run_dandelion
+from repro.broadcast.flood import FloodNode, run_flood
+from repro.broadcast.gossip import GossipConfig, GossipNode, run_gossip
+
+__all__ = [
+    "DandelionConfig",
+    "DandelionNode",
+    "run_dandelion",
+    "FloodNode",
+    "run_flood",
+    "GossipConfig",
+    "GossipNode",
+    "run_gossip",
+]

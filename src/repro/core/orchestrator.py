@@ -1,0 +1,316 @@
+"""End-to-end orchestration of the three-phase broadcast.
+
+:class:`ThreePhaseBroadcast` is the library's main entry point.  It owns the
+overlay, the group directory, the simulator and the protocol nodes, and for
+every broadcast it
+
+1. runs the originator's DC-net group session (Phase 1), injecting the share
+   traffic into the simulator so observers and metrics see it,
+2. delivers the payload knowledge to all group members and hands the virtual
+   source role to the member selected by the hash rule (Phase 1 → 2),
+3. lets the event-driven adaptive diffusion and the final flood play out
+   (Phases 2 and 3), and
+4. returns a :class:`BroadcastResult` with reach, per-phase message counts,
+   timings and the ground truth needed by the privacy experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+import networkx as nx
+
+from repro.core.config import ProtocolConfig
+from repro.core.phases import Phase, PhaseTimeline
+from repro.core.protocol import ThreePhaseNode
+from repro.core.transitions import select_virtual_source
+from repro.dcnet.group_session import DCNetGroupSession
+from repro.groups.directory import GroupDirectory
+from repro.network.latency import ConstantLatency, LatencyModel
+from repro.network.message import Message
+from repro.network.simulator import Simulator
+
+_payload_counter = itertools.count()
+
+
+@dataclass
+class BroadcastResult:
+    """Outcome of one three-phase broadcast.
+
+    Attributes:
+        payload_id: identifier of the broadcast.
+        source: ground-truth originator (simulation-side knowledge only).
+        group: members of the originator's DC-net group.
+        virtual_source: group member selected as the initial virtual source.
+        reach: number of nodes that obtained the payload.
+        delivered_fraction: ``reach`` divided by the network size.
+        completion_time: simulated time at which the last node was reached
+            (``None`` if the broadcast did not reach everyone).
+        messages_by_phase: message counts per :class:`Phase`.
+        messages_total: total messages across all phases.
+        dc_rounds: number of DC-net rounds Phase 1 used.
+        timeline: phase start times.
+    """
+
+    payload_id: Hashable
+    source: Hashable
+    group: List[Hashable]
+    virtual_source: Hashable
+    reach: int
+    delivered_fraction: float
+    completion_time: Optional[float]
+    messages_by_phase: Dict[Phase, int] = field(default_factory=dict)
+    messages_total: int = 0
+    dc_rounds: int = 0
+    timeline: PhaseTimeline = field(default_factory=PhaseTimeline)
+
+
+class ThreePhaseBroadcast:
+    """The three-phase privacy-preserving broadcast over one overlay.
+
+    Example:
+        >>> from repro.network.topology import random_regular_overlay
+        >>> from repro.core import ProtocolConfig, ThreePhaseBroadcast
+        >>> overlay = random_regular_overlay(100, degree=8, seed=1)
+        >>> protocol = ThreePhaseBroadcast(overlay, ProtocolConfig(group_size=4), seed=2)
+        >>> result = protocol.broadcast(source=0, payload=b"tx")
+        >>> result.delivered_fraction
+        1.0
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        config: Optional[ProtocolConfig] = None,
+        seed: Optional[int] = None,
+        latency: Optional[LatencyModel] = None,
+        directory: Optional[GroupDirectory] = None,
+    ) -> None:
+        self.config = config or ProtocolConfig()
+        self.rng = random.Random(seed)
+        self.graph = graph
+        self.simulator = Simulator(
+            graph,
+            latency=latency or ConstantLatency(0.1),
+            seed=None if seed is None else seed + 1,
+        )
+        self.simulator.populate(
+            lambda node_id: ThreePhaseNode(node_id, self.config)
+        )
+        self.directory = directory or GroupDirectory(
+            sorted(graph.nodes, key=repr), self.config.group_size, self.rng
+        )
+        self._results: List[BroadcastResult] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def results(self) -> List[BroadcastResult]:
+        """Results of every broadcast run so far."""
+        return list(self._results)
+
+    def node(self, node_id: Hashable) -> ThreePhaseNode:
+        """The protocol node behaviour registered for ``node_id``."""
+        node = self.simulator.node(node_id)
+        assert isinstance(node, ThreePhaseNode)
+        return node
+
+    def broadcast(
+        self,
+        source: Hashable,
+        payload: bytes,
+        payload_id: Optional[Hashable] = None,
+        run_to_completion: bool = True,
+    ) -> BroadcastResult:
+        """Broadcast ``payload`` from ``source`` through all three phases.
+
+        Args:
+            source: the originating node.
+            payload: transaction bytes (also the input of the virtual-source
+                hash selection).
+            payload_id: explicit identifier; generated when omitted.
+            run_to_completion: when ``True`` the simulator runs until idle
+                before the result is computed.
+
+        Returns:
+            The :class:`BroadcastResult` for this broadcast.
+        """
+        if payload_id is None:
+            payload_id = f"payload-{next(_payload_counter)}"
+        timeline = PhaseTimeline()
+        start_time = self.simulator.now
+        timeline.record(Phase.DC_NET, start_time)
+
+        group = self.directory.members_of(source)
+        dc_rounds = self._run_phase_one(source, group, payload, payload_id)
+        phase_one_end = start_time + dc_rounds * self.config.dc_round_interval
+
+        virtual_source = select_virtual_source(payload, group)
+        self._schedule_phase_two(
+            payload_id, group, virtual_source, phase_one_end, timeline
+        )
+
+        if run_to_completion:
+            self.simulator.run_until_idle()
+
+        result = self._collect_result(
+            payload_id, source, group, virtual_source, dc_rounds, timeline
+        )
+        self._results.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Phase 1
+    # ------------------------------------------------------------------
+    def _run_phase_one(
+        self,
+        source: Hashable,
+        group: List[Hashable],
+        payload: bytes,
+        payload_id: Hashable,
+    ) -> int:
+        """Run the DC-net group session and inject its traffic; returns rounds."""
+        session = DCNetGroupSession(
+            group,
+            self.rng,
+            announcement_rounds=self.config.announcement_rounds,
+        )
+        session.queue_message(source, payload)
+        outcomes = session.run_until_empty(max_rounds=100)
+
+        # Inject the share traffic into the simulator so that metrics and
+        # adversary views include Phase 1.  Every ordered pair of group
+        # members exchanges one message per protocol step; the exact byte
+        # content is irrelevant to observers (uniformly random shares).
+        for outcome in outcomes:
+            round_start = (
+                self.simulator.now
+                + (outcome.round_index - 1) * self.config.dc_round_interval
+            )
+            self._inject_dc_traffic(group, payload_id, outcome.messages_sent, round_start)
+        return len(outcomes)
+
+    def _inject_dc_traffic(
+        self,
+        group: List[Hashable],
+        payload_id: Hashable,
+        messages: int,
+        round_start: float,
+    ) -> None:
+        pairs = [
+            (a, b) for a in group for b in group if a != b
+        ]
+        if not pairs:
+            return
+        # All members transmit simultaneously in a real DC-net round; the
+        # injection shuffles pair order and jitters the send times so that the
+        # observable traffic pattern carries no information about which member
+        # is the actual sender (the anonymity property of Phase 1).
+        self.rng.shuffle(pairs)
+        share_size = max(
+            8, self.config.payload_size_bytes // max(1, len(group) - 1)
+        )
+        base_delay = max(0.0, round_start - self.simulator.now)
+        for index in range(messages):
+            sender, receiver = pairs[index % len(pairs)]
+            jitter = self.rng.uniform(0.0, self.config.dc_round_interval * 0.5)
+            self.simulator.schedule(
+                base_delay + jitter,
+                lambda s=sender, r=receiver: self.simulator.send(
+                    s,
+                    r,
+                    Message(
+                        kind=ThreePhaseNode.DC_KIND,
+                        payload_id=payload_id,
+                        size_bytes=share_size,
+                    ),
+                    direct=True,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Phase 2 and 3
+    # ------------------------------------------------------------------
+    def _schedule_phase_two(
+        self,
+        payload_id: Hashable,
+        group: List[Hashable],
+        virtual_source: Hashable,
+        phase_one_end: float,
+        timeline: PhaseTimeline,
+    ) -> None:
+        delay = max(0.0, phase_one_end - self.simulator.now)
+
+        def start_phase_two() -> None:
+            timeline.record(Phase.ADAPTIVE_DIFFUSION, self.simulator.now)
+            for member in group:
+                self.node(member).learn_from_group(payload_id)
+            self.node(virtual_source).become_virtual_source(payload_id)
+
+        self.simulator.schedule(delay, start_phase_two)
+
+        # The flood phase start is recorded lazily: the first flood message
+        # observed for this payload marks the Phase 3 boundary.  The watcher
+        # gives up after a bounded number of checks so a broadcast that never
+        # reaches Phase 3 cannot keep the simulation alive forever.
+        max_checks = 10 * self.config.diffusion_depth + 100
+
+        def watch_for_flood(remaining: int) -> None:
+            for obs in self.simulator.observations:
+                if (
+                    obs.message.payload_id == payload_id
+                    and obs.message.kind == ThreePhaseNode.FLOOD_KIND
+                ):
+                    timeline.record(Phase.FLOOD, obs.time)
+                    return
+            if remaining > 0:
+                self.simulator.schedule(1.0, lambda: watch_for_flood(remaining - 1))
+
+        self.simulator.schedule(delay + 1.0, lambda: watch_for_flood(max_checks))
+
+    # ------------------------------------------------------------------
+    # Result collection
+    # ------------------------------------------------------------------
+    def _collect_result(
+        self,
+        payload_id: Hashable,
+        source: Hashable,
+        group: List[Hashable],
+        virtual_source: Hashable,
+        dc_rounds: int,
+        timeline: PhaseTimeline,
+    ) -> BroadcastResult:
+        metrics = self.simulator.metrics
+        total_nodes = self.graph.number_of_nodes()
+        reach = metrics.reach(payload_id)
+        phase_counts = {
+            Phase.DC_NET: metrics.message_count(
+                kind=ThreePhaseNode.DC_KIND, payload_id=payload_id
+            ),
+            Phase.ADAPTIVE_DIFFUSION: sum(
+                metrics.message_count(kind=kind, payload_id=payload_id)
+                for kind in ("ad_payload", "ad_spread", "ad_token", "ad_final")
+            ),
+            Phase.FLOOD: metrics.message_count(
+                kind=ThreePhaseNode.FLOOD_KIND, payload_id=payload_id
+            ),
+        }
+        return BroadcastResult(
+            payload_id=payload_id,
+            source=source,
+            group=list(group),
+            virtual_source=virtual_source,
+            reach=reach,
+            delivered_fraction=reach / total_nodes,
+            completion_time=metrics.completion_time(payload_id)
+            if reach == total_nodes
+            else None,
+            messages_by_phase=phase_counts,
+            messages_total=sum(phase_counts.values()),
+            dc_rounds=dc_rounds,
+            timeline=timeline,
+        )

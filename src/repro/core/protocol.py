@@ -1,0 +1,108 @@
+"""Per-node behaviour of the three-phase protocol.
+
+:class:`ThreePhaseNode` extends the adaptive-diffusion behaviour with the two
+pieces the combined protocol adds on top:
+
+* Phase-1 knowledge delivery: group members learn the payload through the
+  DC-net (driven by the orchestrator) and simply record it, so that later
+  diffusion or flood copies are recognised as duplicates.
+* Phase-3 flooding: when the final spreading request (``ad_final``) arrives,
+  the node switches to flood-and-prune and pushes the payload to all its
+  neighbours; plain ``flood`` messages are handled with the usual
+  first-reception-forwards rule.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Set
+
+from repro.core.config import ProtocolConfig
+from repro.diffusion.adaptive import AdaptiveDiffusionConfig, AdaptiveDiffusionNode
+from repro.network.message import Message
+
+
+class ThreePhaseNode(AdaptiveDiffusionNode):
+    """A peer participating in the three-phase privacy-preserving broadcast."""
+
+    #: Message kind of Phase-1 traffic (DC-net share exchanges).
+    DC_KIND = "dc_exchange"
+    #: Message kind of Phase-3 traffic.
+    FLOOD_KIND = "flood"
+
+    def __init__(
+        self,
+        node_id: Hashable,
+        config: Optional[ProtocolConfig] = None,
+    ) -> None:
+        self.protocol_config = config or ProtocolConfig()
+        diffusion_config = AdaptiveDiffusionConfig(
+            max_rounds=self.protocol_config.diffusion_depth,
+            round_interval=self.protocol_config.diffusion_round_interval,
+            payload_size_bytes=self.protocol_config.payload_size_bytes,
+            control_size_bytes=self.protocol_config.control_size_bytes,
+        )
+        super().__init__(node_id, diffusion_config)
+        self._flooded: Set[Hashable] = set()
+
+    # ------------------------------------------------------------------
+    # Phase 1: DC-net knowledge delivery (driven by the orchestrator)
+    # ------------------------------------------------------------------
+    def learn_from_group(self, payload_id: Hashable) -> None:
+        """Record that the DC-net phase delivered the payload to this node."""
+        state = self._state(payload_id)
+        if state.note_received(None, self.now):
+            self.mark_delivered(payload_id)
+
+    # ------------------------------------------------------------------
+    # Phase 2 → 3 transition
+    # ------------------------------------------------------------------
+    def on_diffusion_finished(self, payload_id: Hashable) -> None:
+        """Switch to flood-and-prune when the final spreading request arrives."""
+        self._start_flood(payload_id, exclude=None)
+
+    # ------------------------------------------------------------------
+    # Message handling for the kinds adaptive diffusion does not know
+    # ------------------------------------------------------------------
+    def on_unhandled_message(self, sender: Hashable, message: Message) -> None:
+        if message.kind == self.DC_KIND:
+            # Phase-1 share traffic: indistinguishable random bytes to anyone
+            # but the group members, who obtain the payload through
+            # :meth:`learn_from_group`.  Nothing to do here.
+            return
+        if message.kind == self.FLOOD_KIND:
+            self._handle_flood(sender, message)
+            return
+        super().on_unhandled_message(sender, message)
+
+    def _handle_flood(self, sender: Hashable, message: Message) -> None:
+        payload_id = message.payload_id
+        state = self._state(payload_id)
+        first_delivery = state.note_received(sender, self.now)
+        if first_delivery:
+            self.mark_delivered(payload_id)
+        if payload_id in self._flooded:
+            return  # prune
+        if first_delivery:
+            self._start_flood(payload_id, exclude=sender)
+        # Nodes that already obtained the payload in an earlier phase do not
+        # re-flood on reception: the nodes that must switch to flooding are
+        # reached by the final spreading request instead.
+
+    def _start_flood(self, payload_id: Hashable, exclude: Optional[Hashable]) -> None:
+        if payload_id in self._flooded:
+            return
+        self._flooded.add(payload_id)
+        for peer in self.neighbours:
+            if peer != exclude:
+                self.send(
+                    peer,
+                    Message(
+                        kind=self.FLOOD_KIND,
+                        payload_id=payload_id,
+                        size_bytes=self.protocol_config.payload_size_bytes,
+                    ),
+                )
+
+    def has_flooded(self, payload_id: Hashable) -> bool:
+        """Whether this node already flooded the payload (Phase 3)."""
+        return payload_id in self._flooded

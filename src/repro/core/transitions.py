@@ -1,0 +1,44 @@
+"""Phase 1 → Phase 2 transition: deterministic virtual-source selection.
+
+Section IV-B: *"the node whose hashed identity, e.g., public key, is closest
+to the hash of the message creates the initial virtual source token and
+starts the adaptive diffusion"*.  The rule needs three properties, all
+checked by the tests:
+
+* no additional messages — it is a pure function of data every member holds,
+* independence of the originator — only the message content matters,
+* verifiability — every group member can recompute and check the selection.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Union
+
+from repro.crypto.hashing import closest_identity
+
+PayloadLike = Union[bytes, str, int]
+
+
+def select_virtual_source(
+    payload: PayloadLike, group_members: Iterable[Hashable]
+) -> Hashable:
+    """Deterministically select the initial virtual source for ``payload``.
+
+    Raises:
+        ValueError: if the group is empty.
+    """
+    return closest_identity(payload, list(group_members))
+
+
+def verify_virtual_source(
+    payload: PayloadLike,
+    group_members: Iterable[Hashable],
+    claimed: Hashable,
+) -> bool:
+    """Check a claimed virtual-source selection (what honest members do).
+
+    Any group member can detect a node that starts Phase 2 without being the
+    legitimately selected virtual source, which is the misbehaviour-detection
+    property the paper requires of the transition.
+    """
+    return select_virtual_source(payload, group_members) == claimed

@@ -1,0 +1,62 @@
+"""Hash commitments used by the simplified blame protocol.
+
+Von Ahn et al. (the paper's reference [19]) make DC-net disruptions
+attributable by having every member commit to its pads before the round and
+open the commitments when a collision is suspected.  The blame protocol in
+:mod:`repro.dcnet.blame` uses the binding-and-hiding hash commitments
+implemented here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+#: Number of random bytes used to blind a commitment.
+NONCE_BYTES = 16
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """An opened or unopened commitment to a byte string.
+
+    Attributes:
+        digest: the published commitment value.
+        value: the committed value; ``None`` while the commitment is unopened.
+        nonce: the blinding nonce; ``None`` while the commitment is unopened.
+    """
+
+    digest: bytes
+    value: bytes = None  # type: ignore[assignment]
+    nonce: bytes = None  # type: ignore[assignment]
+
+    def opened(self, value: bytes, nonce: bytes) -> "Commitment":
+        """Return a copy of this commitment with the opening attached."""
+        return Commitment(digest=self.digest, value=value, nonce=nonce)
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the opening information is attached."""
+        return self.value is not None and self.nonce is not None
+
+
+def _digest(value: bytes, nonce: bytes) -> bytes:
+    return hashlib.sha256(b"commit|" + nonce + b"|" + value).digest()
+
+
+def commit(value: bytes, rng: random.Random) -> Commitment:
+    """Commit to ``value`` with a fresh random nonce.
+
+    The returned :class:`Commitment` carries the opening so the committer can
+    later publish it; only the ``digest`` field should be shared initially.
+    """
+    nonce = bytes(rng.getrandbits(8) for _ in range(NONCE_BYTES))
+    return Commitment(digest=_digest(value, nonce), value=value, nonce=nonce)
+
+
+def verify_commitment(commitment: Commitment) -> bool:
+    """Check that an opened commitment is consistent with its digest."""
+    if not commitment.is_open:
+        return False
+    return _digest(commitment.value, commitment.nonce) == commitment.digest

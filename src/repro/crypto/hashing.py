@@ -1,0 +1,96 @@
+"""Hashing helpers for identities, messages and the phase transition rule.
+
+The core protocol (Section IV-B of the paper) selects the initial virtual
+source of Phase 2 as *"the node whose hashed identity, e.g., public key, is
+closest to the hash of the message"*.  This module provides the identity and
+message hashing as well as the distance metric and the selection helper used
+by :mod:`repro.core.transitions`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence, Union
+
+HashableIdentity = Union[int, str, bytes]
+
+#: Number of bits of the SHA-256 digest interpreted as an integer.
+DIGEST_BITS = 256
+
+#: Size of the identity/message hash space.
+HASH_SPACE = 1 << DIGEST_BITS
+
+
+def _to_bytes(value: HashableIdentity) -> bytes:
+    """Convert an identity or message into bytes for hashing."""
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    if isinstance(value, int):
+        # Fixed-width, signed-free representation so that hashing is stable.
+        length = max(1, (value.bit_length() + 7) // 8)
+        return value.to_bytes(length, "big")
+    raise TypeError(f"cannot hash value of type {type(value)!r}")
+
+
+def hash_bytes(data: bytes) -> bytes:
+    """Return the SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def hash_to_int(data: HashableIdentity, *, domain: str = "") -> int:
+    """Hash ``data`` into an integer in ``[0, HASH_SPACE)``.
+
+    ``domain`` separates hash usages (identities vs. messages) so that a node
+    identity can never accidentally collide with a message hash.
+    """
+    prefix = domain.encode("utf-8") + b"|" if domain else b""
+    digest = hashlib.sha256(prefix + _to_bytes(data)).digest()
+    return int.from_bytes(digest, "big")
+
+
+def hash_identity(identity: HashableIdentity) -> int:
+    """Hash a node identity (public key stand-in) into the hash space."""
+    return hash_to_int(identity, domain="identity")
+
+
+def hash_message(message: HashableIdentity) -> int:
+    """Hash a message/transaction payload into the hash space."""
+    return hash_to_int(message, domain="message")
+
+
+def hash_distance(a: int, b: int) -> int:
+    """Distance between two points of the hash space.
+
+    The metric is the circular distance on the ring of size ``HASH_SPACE``.
+    A ring metric (rather than plain absolute difference) keeps the selection
+    unbiased for identities close to 0 or close to the maximum.
+    """
+    diff = abs(a - b) % HASH_SPACE
+    return min(diff, HASH_SPACE - diff)
+
+
+def closest_identity(
+    message: HashableIdentity,
+    identities: Iterable[HashableIdentity],
+) -> HashableIdentity:
+    """Return the identity whose hash is closest to the hash of ``message``.
+
+    This is the deterministic, originator-independent and verifiable rule the
+    paper uses for the Phase 1 to Phase 2 transition.  Ties are broken by the
+    smaller identity hash, which every group member can verify locally.
+
+    Raises:
+        ValueError: if ``identities`` is empty.
+    """
+    candidates: Sequence[HashableIdentity] = list(identities)
+    if not candidates:
+        raise ValueError("cannot select the closest identity of an empty group")
+    target = hash_message(message)
+
+    def sort_key(identity: HashableIdentity):
+        identity_hash = hash_identity(identity)
+        return (hash_distance(identity_hash, target), identity_hash)
+
+    return min(candidates, key=sort_key)

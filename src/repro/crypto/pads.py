@@ -1,0 +1,78 @@
+"""XOR pads and share splitting for the DC-network.
+
+Step 1 of the DC-net round (Fig. 4 of the paper) requires every member to
+generate ``k`` random pads ``r_1 ... r_k`` of length ``n`` such that their
+XOR equals the member's message (or the all-zero message when the member has
+nothing to send).  These helpers implement the byte-level XOR arithmetic and
+the share splitting used by :mod:`repro.dcnet`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+
+def zero_bytes(length: int) -> bytes:
+    """Return ``length`` zero bytes (the DC-net "no message" payload)."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    return bytes(length)
+
+
+def xor_bytes(*operands: bytes) -> bytes:
+    """XOR an arbitrary number of equally long byte strings.
+
+    Raises:
+        ValueError: if no operands are given or the lengths differ.
+    """
+    if not operands:
+        raise ValueError("xor_bytes needs at least one operand")
+    length = len(operands[0])
+    for op in operands:
+        if len(op) != length:
+            raise ValueError(
+                f"all operands must have the same length, got {len(op)} != {length}"
+            )
+    result = bytearray(length)
+    for op in operands:
+        for i, byte in enumerate(op):
+            result[i] ^= byte
+    return bytes(result)
+
+
+def random_pad(rng: random.Random, length: int) -> bytes:
+    """Generate a uniformly random pad of ``length`` bytes."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    return bytes(rng.getrandbits(8) for _ in range(length))
+
+
+def split_into_shares(
+    message: bytes, count: int, rng: random.Random
+) -> List[bytes]:
+    """Split ``message`` into ``count`` shares whose XOR equals ``message``.
+
+    The first ``count - 1`` shares are uniformly random; the last one is the
+    XOR of the message with all other shares.  Any strict subset of shares is
+    therefore uniformly distributed and reveals nothing about the message —
+    the property the DC-net privacy argument relies on.
+
+    Raises:
+        ValueError: if ``count`` is not positive.
+    """
+    if count <= 0:
+        raise ValueError("the number of shares must be positive")
+    if count == 1:
+        return [bytes(message)]
+    shares = [random_pad(rng, len(message)) for _ in range(count - 1)]
+    last = xor_bytes(message, *shares) if shares else bytes(message)
+    shares.append(last)
+    return shares
+
+
+def combine_shares(shares: Sequence[bytes]) -> bytes:
+    """Recombine shares produced by :func:`split_into_shares`."""
+    if not shares:
+        raise ValueError("cannot combine an empty share list")
+    return xor_bytes(*shares)

@@ -1,0 +1,46 @@
+"""Dining-cryptographers network (Phase 1 of the paper's protocol).
+
+This package implements the DC-net variant given in Fig. 4 of the paper:
+every member splits its (possibly empty) message into ``k`` XOR shares, one
+per other group member, and two further accumulation exchanges let every
+member recover the XOR of all *other* members' messages without learning who
+sent what.  On top of the raw round algorithm the package provides
+
+* payload framing with length prefix and CRC-32 (collision detection),
+* the 32-bit length-announcement optimisation of Section V-A,
+* collision handling with randomised exponential backoff,
+* a simplified von-Ahn-style blame protocol based on share commitments,
+* a :class:`~repro.dcnet.group_session.DCNetGroupSession` that strings rounds
+  together over time and is what Phase 1 of the core protocol drives.
+"""
+
+from repro.dcnet.announcement import (
+    ANNOUNCEMENT_FRAME_BYTES,
+    decode_announcement,
+    encode_announcement,
+)
+from repro.dcnet.blame import BlameProtocol, BlameVerdict
+from repro.dcnet.collision import BackoffPolicy, decode_payload, encode_payload
+from repro.dcnet.group_session import DCNetGroupSession, RoundOutcome, SessionStats
+from repro.dcnet.member import DCNetMember
+from repro.dcnet.padding import pad_message, unpad_message
+from repro.dcnet.round import DCNetRoundResult, run_round
+
+__all__ = [
+    "ANNOUNCEMENT_FRAME_BYTES",
+    "decode_announcement",
+    "encode_announcement",
+    "BlameProtocol",
+    "BlameVerdict",
+    "BackoffPolicy",
+    "decode_payload",
+    "encode_payload",
+    "DCNetGroupSession",
+    "RoundOutcome",
+    "SessionStats",
+    "DCNetMember",
+    "pad_message",
+    "unpad_message",
+    "DCNetRoundResult",
+    "run_round",
+]

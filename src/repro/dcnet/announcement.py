@@ -1,0 +1,70 @@
+"""The 32-bit length-announcement optimisation (Section V-A of the paper).
+
+To avoid paying the O(k²) cost for full-size frames when nobody has anything
+to send, the paper proposes restricting the base round to a 32-bit integer
+carrying the length of the next message.  If the recovered integer is
+non-zero, a follow-up round of exactly that size transports the payload.  The
+integer is CRC-protected so colliding announcements are detected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.crc import append_crc, split_crc, verify_crc
+
+#: Bytes of the announced length value.
+_LENGTH_BYTES = 4
+
+#: Total size of an announcement frame: 32-bit length + 32-bit CRC.
+ANNOUNCEMENT_FRAME_BYTES = 8
+
+#: Largest length announceable in 32 bits.
+MAX_ANNOUNCEABLE_LENGTH = 2**32 - 1
+
+
+def encode_announcement(length: int) -> bytes:
+    """Encode the length of the next message into an announcement frame.
+
+    ``length == 0`` means "nothing to send" and is what idle members
+    contribute (their frame is all zero bytes only if the CRC of zero is
+    appended consistently, so idle members must use :func:`idle_announcement`
+    instead — see its docstring).
+
+    Raises:
+        ValueError: if ``length`` is negative or does not fit in 32 bits.
+    """
+    if length < 0 or length > MAX_ANNOUNCEABLE_LENGTH:
+        raise ValueError("announced length must fit in an unsigned 32-bit int")
+    return append_crc(length.to_bytes(_LENGTH_BYTES, "big"))
+
+
+def idle_announcement() -> bytes:
+    """The all-zero frame an idle member contributes.
+
+    Idle members must contribute the all-zero DC-net message (not the CRC
+    framing of the integer 0), otherwise their CRC bytes would collide with a
+    real sender's frame and corrupt every announcement round.
+    """
+    return bytes(ANNOUNCEMENT_FRAME_BYTES)
+
+
+def decode_announcement(frame: bytes) -> Optional[int]:
+    """Decode a recovered announcement frame.
+
+    Returns:
+        * ``0`` if the frame is all zero (nobody announced anything),
+        * the announced length if the CRC verifies,
+        * ``None`` if the CRC fails, i.e. at least two members collided.
+    """
+    if len(frame) != ANNOUNCEMENT_FRAME_BYTES:
+        raise ValueError(
+            f"announcement frames are {ANNOUNCEMENT_FRAME_BYTES} bytes, "
+            f"got {len(frame)}"
+        )
+    if frame == idle_announcement():
+        return 0
+    if not verify_crc(frame):
+        return None
+    payload, _ = split_crc(frame)
+    return int.from_bytes(payload, "big")

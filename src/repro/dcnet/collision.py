@@ -1,0 +1,80 @@
+"""Collision detection and backoff for DC-net rounds.
+
+When two or more members transmit in the same round the recovered frame is
+the XOR of their messages — garbage.  Following the paper (Fig. 4 caption and
+Section V-A), payloads carry CRC bits so receivers can detect the collision,
+and colliding senders retry after a randomised backoff.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.crypto.crc import append_crc, split_crc, verify_crc
+from repro.dcnet.padding import pad_message, unpad_message
+
+#: Overhead added to a payload by framing: 4-byte length prefix + 4-byte CRC.
+FRAME_OVERHEAD_BYTES = 8
+
+
+def encode_payload(payload: bytes, frame_length: int) -> bytes:
+    """Frame ``payload`` for a DC-net round of ``frame_length`` bytes.
+
+    The payload is padded (length prefix + zero fill) to ``frame_length - 4``
+    bytes and the CRC-32 of the padded content is appended, so the resulting
+    frame is exactly ``frame_length`` bytes long.
+
+    Raises:
+        ValueError: if the payload does not fit in the frame.
+    """
+    if frame_length <= FRAME_OVERHEAD_BYTES:
+        raise ValueError(
+            f"frame length must exceed the framing overhead of "
+            f"{FRAME_OVERHEAD_BYTES} bytes"
+        )
+    padded = pad_message(payload, frame_length - 4)
+    return append_crc(padded)
+
+
+def decode_payload(frame: bytes) -> Optional[bytes]:
+    """Recover the payload from a frame, or ``None`` on a detected collision.
+
+    A frame whose CRC does not verify is treated as a collision (or garbage),
+    mirroring how the protocol distinguishes "exactly one sender" from
+    "multiple senders collided".
+    """
+    if not verify_crc(frame):
+        return None
+    padded, _ = split_crc(frame)
+    try:
+        return unpad_message(padded)
+    except ValueError:
+        return None
+
+
+class BackoffPolicy:
+    """Randomised exponential backoff, measured in DC-net rounds.
+
+    After the ``n``-th consecutive collision a sender waits a number of rounds
+    drawn uniformly from ``[1, min(2**n, max_window)]`` before retrying.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        base_window: int = 2,
+        max_window: int = 32,
+    ) -> None:
+        if base_window < 1 or max_window < base_window:
+            raise ValueError("need 1 <= base_window <= max_window")
+        self._rng = rng
+        self._base_window = base_window
+        self._max_window = max_window
+
+    def delay_rounds(self, attempt: int) -> int:
+        """Rounds to wait before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        window = min(self._base_window ** attempt, self._max_window)
+        return self._rng.randint(1, window)

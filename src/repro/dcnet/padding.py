@@ -1,0 +1,53 @@
+"""Fixed-length payload padding for DC-net rounds.
+
+A DC-net round transports exactly ``n`` bytes (the "maximum message length"
+of Fig. 4), so shorter payloads are padded.  The framing used here is a
+4-byte big-endian length prefix followed by the payload and zero padding,
+which makes unpadding unambiguous even when the payload itself ends in zero
+bytes.
+"""
+
+from __future__ import annotations
+
+#: Number of bytes used by the length prefix.
+LENGTH_PREFIX_BYTES = 4
+
+
+def padded_length(payload_length: int) -> int:
+    """Frame size needed to carry a payload of ``payload_length`` bytes."""
+    if payload_length < 0:
+        raise ValueError("payload length must be non-negative")
+    return LENGTH_PREFIX_BYTES + payload_length
+
+
+def pad_message(payload: bytes, frame_length: int) -> bytes:
+    """Pad ``payload`` into a frame of exactly ``frame_length`` bytes.
+
+    Raises:
+        ValueError: if the payload (plus its length prefix) does not fit.
+    """
+    required = padded_length(len(payload))
+    if frame_length < required:
+        raise ValueError(
+            f"payload of {len(payload)} bytes does not fit into a "
+            f"{frame_length}-byte frame (needs {required})"
+        )
+    prefix = len(payload).to_bytes(LENGTH_PREFIX_BYTES, "big")
+    return prefix + payload + bytes(frame_length - required)
+
+
+def unpad_message(frame: bytes) -> bytes:
+    """Extract the payload from a frame produced by :func:`pad_message`.
+
+    Raises:
+        ValueError: if the frame is malformed (too short or inconsistent
+            length prefix).
+    """
+    if len(frame) < LENGTH_PREFIX_BYTES:
+        raise ValueError("frame is shorter than the length prefix")
+    declared = int.from_bytes(frame[:LENGTH_PREFIX_BYTES], "big")
+    if LENGTH_PREFIX_BYTES + declared > len(frame):
+        raise ValueError(
+            f"declared payload length {declared} exceeds frame size {len(frame)}"
+        )
+    return frame[LENGTH_PREFIX_BYTES : LENGTH_PREFIX_BYTES + declared]

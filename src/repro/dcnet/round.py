@@ -1,0 +1,147 @@
+"""Execution of one complete DC-net round across a whole group.
+
+:func:`run_round` wires the per-member state machines of
+:class:`~repro.dcnet.member.DCNetMember` together: it performs the three
+exchange steps for every member, counts every transmitted share (the paper's
+O(k²) cost), and reports what each member recovered.
+
+The function is deliberately independent of the network simulator so it can
+be unit-tested and benchmarked in isolation; the simulator-facing integration
+lives in :mod:`repro.dcnet.group_session` and :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from repro.crypto.pads import zero_bytes
+from repro.dcnet.member import DCNetMember
+
+
+@dataclass
+class DCNetRoundResult:
+    """Outcome of one DC-net round.
+
+    Attributes:
+        recovered: per member, the XOR of all *other* members' framed messages.
+        messages_sent: total number of point-to-point transmissions.
+        messages_per_member: transmissions per member (three per peer).
+        frame_length: the fixed frame size used.
+        senders: members that contributed a non-zero message (simulation-side
+            ground truth; not derivable from the protocol messages).
+    """
+
+    recovered: Dict[Hashable, bytes]
+    messages_sent: int
+    messages_per_member: Dict[Hashable, int]
+    frame_length: int
+    senders: List[Hashable] = field(default_factory=list)
+
+    def recovered_by(self, member: Hashable) -> bytes:
+        """The frame recovered by ``member``."""
+        return self.recovered[member]
+
+    @property
+    def anyone_sent(self) -> bool:
+        """Whether the round carried at least one non-zero message."""
+        return any(value != zero_bytes(self.frame_length) for value in self.recovered.values())
+
+
+def expected_messages(group_size: int) -> int:
+    """Total transmissions of one round for a group of ``group_size``.
+
+    Every member sends one value to every peer in each of the three exchange
+    steps, i.e. ``3 * group_size * (group_size - 1)`` — the O(k²) per-round
+    cost the paper quotes in Section V-A.
+    """
+    if group_size < 2:
+        raise ValueError("a DC-net group needs at least two members")
+    return 3 * group_size * (group_size - 1)
+
+
+def run_round(
+    group: Iterable[Hashable],
+    messages: Dict[Hashable, bytes],
+    frame_length: int,
+    rng: random.Random,
+    tampered_shares: Optional[Dict[Hashable, bytes]] = None,
+) -> DCNetRoundResult:
+    """Run one DC-net round.
+
+    Args:
+        group: identities of all group members.
+        messages: framed messages per sending member; members not present
+            contribute the all-zero message.  Frames must already be padded to
+            ``frame_length`` (see :mod:`repro.dcnet.padding`).
+        frame_length: fixed frame size of the round.
+        rng: randomness source for the share splitting.
+        tampered_shares: optional map ``{member: replacement_share}`` used by
+            the tests and the blame-protocol experiments to model a disruptor
+            that replaces every share it sends with the given bytes.  Honest
+            runs leave this ``None``.
+
+    Returns:
+        A :class:`DCNetRoundResult` with per-member recovery and traffic cost.
+    """
+    member_ids = sorted(set(group), key=repr)
+    if len(member_ids) < 2:
+        raise ValueError("a DC-net group needs at least two members")
+    unknown_senders = set(messages) - set(member_ids)
+    if unknown_senders:
+        raise ValueError(f"messages from non-members: {sorted(unknown_senders, key=repr)}")
+
+    members = {
+        member_id: DCNetMember(member_id, member_ids, frame_length)
+        for member_id in member_ids
+    }
+    messages_per_member: Dict[Hashable, int] = {m: 0 for m in member_ids}
+
+    # Step 1 + 2: every member prepares and "sends" its shares.
+    outgoing_shares: Dict[Hashable, Dict[Hashable, bytes]] = {}
+    for member_id in member_ids:
+        frame = messages.get(member_id)
+        shares = members[member_id].prepare_shares(frame, rng)
+        if tampered_shares and member_id in tampered_shares:
+            replacement = tampered_shares[member_id]
+            if len(replacement) != frame_length:
+                raise ValueError("tampered share must match the frame length")
+            shares = {peer: replacement for peer in shares}
+        outgoing_shares[member_id] = shares
+        messages_per_member[member_id] += len(shares)
+
+    # Step 3 + 4 + 5: deliver shares, compute S, produce first accumulations.
+    first_accumulations: Dict[Hashable, Dict[Hashable, bytes]] = {}
+    for member_id in member_ids:
+        inbox = {
+            sender: outgoing_shares[sender][member_id]
+            for sender in member_ids
+            if sender != member_id
+        }
+        first_accumulations[member_id] = members[member_id].receive_shares(inbox)
+        messages_per_member[member_id] += len(first_accumulations[member_id])
+
+    # Step 6 + 7 + 8: deliver accumulations, compute T, produce final values.
+    for member_id in member_ids:
+        inbox = {
+            sender: first_accumulations[sender][member_id]
+            for sender in member_ids
+            if sender != member_id
+        }
+        final_values = members[member_id].receive_accumulations(inbox)
+        messages_per_member[member_id] += len(final_values)
+
+    recovered = {member_id: members[member_id].recover() for member_id in member_ids}
+    senders = [
+        member_id
+        for member_id, frame in messages.items()
+        if frame and frame != zero_bytes(frame_length)
+    ]
+    return DCNetRoundResult(
+        recovered=recovered,
+        messages_sent=sum(messages_per_member.values()),
+        messages_per_member=messages_per_member,
+        frame_length=frame_length,
+        senders=sorted(senders, key=repr),
+    )

@@ -1,0 +1,78 @@
+"""Per-node infection bookkeeping for adaptive diffusion on general graphs.
+
+On a tree the adaptive-diffusion spread step is unambiguous; on a general
+graph every node needs a little state to decide where the infection frontier
+is from its local point of view: who infected it (its parent), whom it has
+already forwarded the payload to (its children), and which spread waves it
+has already processed (to suppress duplicates arriving over cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Set
+
+
+@dataclass
+class InfectionState:
+    """Local infection state of one node for one payload.
+
+    Attributes:
+        payload_id: the broadcast this state belongs to.
+        parent: node this node first received the payload from (``None`` for
+            the node that introduced the payload).
+        children: neighbours this node forwarded the payload to, in order.
+        received_from: every neighbour the payload arrived from (parents and
+            duplicate deliveries over cycles).
+        processed_waves: spread-wave sequence numbers already handled.
+        delivered_at: simulated time of the first payload delivery.
+    """
+
+    payload_id: Hashable
+    parent: Optional[Hashable] = None
+    children: List[Hashable] = field(default_factory=list)
+    received_from: Set[Hashable] = field(default_factory=set)
+    processed_waves: Set[int] = field(default_factory=set)
+    delivered_at: Optional[float] = None
+
+    def note_received(self, sender: Optional[Hashable], time: float) -> bool:
+        """Record a payload arrival; returns ``True`` on first delivery."""
+        first = self.delivered_at is None
+        if sender is not None:
+            self.received_from.add(sender)
+        if first:
+            self.delivered_at = time
+            self.parent = sender
+        return first
+
+    def add_children(self, nodes: List[Hashable]) -> None:
+        """Record neighbours this node just forwarded the payload to."""
+        for node in nodes:
+            if node not in self.children:
+                self.children.append(node)
+
+    def already_processed(self, wave: int) -> bool:
+        """Check-and-mark for a spread wave; returns ``True`` if seen before."""
+        if wave in self.processed_waves:
+            return True
+        self.processed_waves.add(wave)
+        return False
+
+    def spread_targets(
+        self,
+        neighbours: List[Hashable],
+        exclude: Optional[Hashable] = None,
+    ) -> List[Hashable]:
+        """Neighbours the payload should be forwarded to in a spread step.
+
+        Excludes the parent, everyone the payload was already received from,
+        existing children, and the optional ``exclude`` direction (used by a
+        new virtual source to avoid growing towards the previous one).
+        """
+        blocked = set(self.received_from)
+        blocked.update(self.children)
+        if self.parent is not None:
+            blocked.add(self.parent)
+        if exclude is not None:
+            blocked.add(exclude)
+        return [n for n in neighbours if n not in blocked]

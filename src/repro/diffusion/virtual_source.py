@@ -1,0 +1,93 @@
+"""Virtual source token state and the adaptive-diffusion hand-over probability.
+
+Fanti et al. prove that, on a d-regular tree, the true source is uniformly
+hidden among all infected nodes if the virtual source *keeps* the token with
+probability
+
+    alpha_d(t, h) = ((d-1)^(t/2 - h + 1) - 1) / ((d-1)^(t/2 + 1) - 1)    (d > 2)
+    alpha_2(t, h) = (t - 2h + 2) / (t + 2)                               (d = 2)
+
+where ``t`` is the (even) round counter and ``h`` the number of hops the
+token has travelled from the true source.  The paper under reproduction
+describes the same mechanism from the transfer side ("transfer the virtual
+source token with probability alpha"); both views are exposed here as
+:func:`keep_probability` and :func:`transfer_probability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional
+
+
+def keep_probability(t: int, h: int, degree: int) -> float:
+    """Probability that the virtual source keeps the token this round.
+
+    Args:
+        t: even round counter (the infection radius is ``t/2``).
+        h: hops the token has travelled from the true source (``1 <= h <= t/2``).
+        degree: assumed (regular-tree) degree of the overlay.
+
+    Raises:
+        ValueError: on malformed arguments.
+    """
+    if t < 2 or t % 2 != 0:
+        raise ValueError("t must be an even integer >= 2")
+    if h < 1 or h > t // 2:
+        raise ValueError("h must satisfy 1 <= h <= t/2")
+    if degree < 2:
+        raise ValueError("degree must be at least 2")
+    half_t = t // 2
+    if degree == 2:
+        return (t - 2 * h + 2) / (t + 2)
+    base = degree - 1
+    numerator = base ** (half_t - h + 1) - 1
+    denominator = base ** (half_t + 1) - 1
+    return numerator / denominator
+
+
+def transfer_probability(t: int, h: int, degree: int) -> float:
+    """Probability that the token is passed to a new node this round."""
+    return 1.0 - keep_probability(t, h, degree)
+
+
+@dataclass
+class VirtualSourceToken:
+    """The state carried along with the virtual source role.
+
+    Attributes:
+        payload_id: the broadcast this token belongs to.
+        t: even round counter (starts at 2 once the first ring is infected).
+        h: hops the token travelled from the true source.
+        previous: node the token was received from (``None`` for the very
+            first virtual source).
+        path: identities of all virtual sources so far, in order.  This is
+            simulation-side bookkeeping used by the evaluation; it is not
+            information a protocol participant would forward.
+    """
+
+    payload_id: Hashable
+    t: int = 2
+    h: int = 1
+    previous: Optional[Hashable] = None
+    path: List[Hashable] = field(default_factory=list)
+
+    def advanced(self) -> "VirtualSourceToken":
+        """The token after one round in which the holder kept it."""
+        return VirtualSourceToken(
+            payload_id=self.payload_id,
+            t=self.t + 2,
+            h=self.h,
+            previous=self.previous,
+            path=list(self.path),
+        )
+
+    def passed_to(self, holder: Hashable, new_previous: Hashable) -> "VirtualSourceToken":
+        """The token after being handed from ``new_previous`` to ``holder``."""
+        return VirtualSourceToken(
+            payload_id=self.payload_id,
+            t=self.t + 2,
+            h=self.h + 1,
+            previous=new_previous,
+            path=list(self.path) + [holder],
+        )

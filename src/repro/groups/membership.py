@@ -1,0 +1,190 @@
+"""Join/leave group management with the ``[k, 2k-1]`` size invariant.
+
+Section IV-C: *"Group members need to react to nodes leaving the group, such
+that the intended group size remains within chosen parameters, namely k and
+2k − 1 as a group of size 2k can be split in two groups of size k.  Until the
+network is large enough to satisfy the minimal group size k, privacy can not
+be guaranteed."*
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+_group_counter = itertools.count()
+
+
+@dataclass
+class Group:
+    """One DC-net group.
+
+    Attributes:
+        group_id: unique identifier of the group.
+        members: current member identities (sorted for determinism).
+        min_size: the privacy parameter ``k``.
+    """
+
+    group_id: int
+    members: List[Hashable]
+    min_size: int
+
+    def __post_init__(self) -> None:
+        self.members = sorted(set(self.members), key=repr)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def max_size(self) -> int:
+        """Largest allowed size before a split: ``2k - 1``."""
+        return 2 * self.min_size - 1
+
+    @property
+    def provides_privacy(self) -> bool:
+        """Whether the group is large enough to give k-anonymity."""
+        return self.size >= self.min_size
+
+    def contains(self, node: Hashable) -> bool:
+        return node in self.members
+
+
+class GroupManager:
+    """Creates, grows, shrinks and splits groups for a population of nodes.
+
+    The manager keeps every node in exactly one group (the overlapping-group
+    extension is analysed separately in :mod:`repro.groups.overlap`) and
+    maintains the invariant that groups have between ``k`` and ``2k - 1``
+    members whenever the population allows it.
+    """
+
+    def __init__(self, min_size: int, rng: Optional[random.Random] = None) -> None:
+        if min_size < 2:
+            raise ValueError("the group size parameter k must be at least 2")
+        self.min_size = min_size
+        self.rng = rng or random.Random()
+        self._groups: Dict[int, Group] = {}
+        self._membership: Dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def groups(self) -> List[Group]:
+        """All current groups, sorted by id."""
+        return [self._groups[gid] for gid in sorted(self._groups)]
+
+    def group_of(self, node: Hashable) -> Optional[Group]:
+        """The group ``node`` belongs to, or ``None``."""
+        group_id = self._membership.get(node)
+        if group_id is None:
+            return None
+        return self._groups[group_id]
+
+    def nodes(self) -> List[Hashable]:
+        """All nodes currently assigned to a group."""
+        return sorted(self._membership, key=repr)
+
+    def all_groups_private(self) -> bool:
+        """Whether every group satisfies the minimum size ``k``."""
+        return all(group.provides_privacy for group in self._groups.values())
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def join(self, node: Hashable) -> Group:
+        """Add ``node`` to the smallest group (creating one if necessary).
+
+        A group that reaches ``2k`` members is immediately split into two
+        groups of ``k`` each.
+
+        Raises:
+            ValueError: if the node is already a member of a group.
+        """
+        if node in self._membership:
+            raise ValueError(f"node {node!r} already belongs to a group")
+        target = self._smallest_group()
+        if target is None or target.size >= 2 * self.min_size:
+            target = self._create_group([])
+        target.members = sorted(target.members + [node], key=repr)
+        self._membership[node] = target.group_id
+        if target.size >= 2 * self.min_size:
+            self._split(target)
+        return self.group_of(node)  # type: ignore[return-value]
+
+    def leave(self, node: Hashable) -> Optional[Group]:
+        """Remove ``node``; merge its group away if it became too small.
+
+        Returns the group the remaining members ended up in (or ``None`` when
+        the departed node was the last one).
+        """
+        group_id = self._membership.pop(node, None)
+        if group_id is None:
+            raise ValueError(f"node {node!r} does not belong to any group")
+        group = self._groups[group_id]
+        group.members = [m for m in group.members if m != node]
+        if group.size == 0:
+            del self._groups[group_id]
+            return None
+        if group.size < self.min_size:
+            return self._rebalance(group)
+        return group
+
+    def assign_population(self, nodes: List[Hashable]) -> List[Group]:
+        """Partition a whole population into groups of size ``k .. 2k-1``.
+
+        Nodes are shuffled (with the manager's RNG) before assignment so
+        group composition is not correlated with node identifiers.
+        """
+        pending = [node for node in nodes if node not in self._membership]
+        self.rng.shuffle(pending)
+        for node in pending:
+            self.join(node)
+        return self.groups
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _create_group(self, members: List[Hashable]) -> Group:
+        group = Group(
+            group_id=next(_group_counter), members=members, min_size=self.min_size
+        )
+        self._groups[group.group_id] = group
+        for member in group.members:
+            self._membership[member] = group.group_id
+        return group
+
+    def _smallest_group(self) -> Optional[Group]:
+        candidates = [g for g in self._groups.values() if g.size < 2 * self.min_size]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda g: (g.size, g.group_id))
+
+    def _split(self, group: Group) -> None:
+        members = list(group.members)
+        self.rng.shuffle(members)
+        half = len(members) // 2
+        first, second = members[:half], members[half:]
+        group.members = sorted(first, key=repr)
+        for member in group.members:
+            self._membership[member] = group.group_id
+        new_group = self._create_group(sorted(second, key=repr))
+        for member in new_group.members:
+            self._membership[member] = new_group.group_id
+
+    def _rebalance(self, group: Group) -> Group:
+        """Merge an undersized group into the smallest other group."""
+        others = [g for g in self._groups.values() if g.group_id != group.group_id]
+        if not others:
+            return group  # nothing to merge with; privacy temporarily degraded
+        target = min(others, key=lambda g: (g.size, g.group_id))
+        target.members = sorted(target.members + group.members, key=repr)
+        for member in group.members:
+            self._membership[member] = target.group_id
+        del self._groups[group.group_id]
+        if target.size >= 2 * self.min_size:
+            self._split(target)
+        return self._groups.get(target.group_id, target)

@@ -1,0 +1,128 @@
+"""Simplified manager-based secure group membership (Reiter, 1996).
+
+The paper points to Reiter's secure group membership protocol as a first
+solution for group creation: a manager-based system tolerating up to one
+third of malicious members by running a consensus on every membership change.
+
+This module provides a deliberately compact simulation of that behaviour:
+
+* every membership change (join/leave) is proposed by the manager and voted
+  on by the current members;
+* a change is installed only if more than two thirds of the members approve,
+  so up to ``⌊(n-1)/3⌋`` byzantine members cannot block or force changes on
+  their own;
+* the installed membership history forms a totally ordered sequence of
+  *views*, mirroring the view-synchronous semantics of the original protocol.
+
+Faulty members are modelled by a caller-provided predicate that decides how
+they vote; honest members always approve consistent proposals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One proposed membership change.
+
+    Attributes:
+        kind: ``"join"`` or ``"leave"``.
+        node: the node joining or leaving.
+        view_number: the view this change would create when installed.
+    """
+
+    kind: str
+    node: Hashable
+    view_number: int
+
+
+@dataclass
+class _View:
+    number: int
+    members: List[Hashable] = field(default_factory=list)
+
+
+class ReiterGroupMembership:
+    """A group whose membership changes go through a 2/3 quorum vote."""
+
+    def __init__(
+        self,
+        manager: Hashable,
+        initial_members: Sequence[Hashable],
+        vote: Optional[Callable[[Hashable, MembershipEvent], bool]] = None,
+    ) -> None:
+        members = sorted(set(initial_members), key=repr)
+        if manager not in members:
+            raise ValueError("the manager must be one of the initial members")
+        self.manager = manager
+        self._vote = vote or (lambda member, event: True)
+        self._views: List[_View] = [_View(number=0, members=members)]
+        self._rejected: List[MembershipEvent] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> List[Hashable]:
+        """Members of the currently installed view."""
+        return list(self._views[-1].members)
+
+    @property
+    def view_number(self) -> int:
+        """Number of the currently installed view."""
+        return self._views[-1].number
+
+    @property
+    def history(self) -> List[List[Hashable]]:
+        """Member lists of every installed view, oldest first."""
+        return [list(view.members) for view in self._views]
+
+    @property
+    def rejected_events(self) -> List[MembershipEvent]:
+        """Proposals that failed to reach the quorum."""
+        return list(self._rejected)
+
+    def fault_tolerance(self) -> int:
+        """Maximum number of byzantine members the quorum rule tolerates."""
+        return (len(self.members) - 1) // 3
+
+    # ------------------------------------------------------------------
+    # Membership changes
+    # ------------------------------------------------------------------
+    def propose_join(self, node: Hashable) -> bool:
+        """Propose adding ``node``; returns ``True`` if the view changed."""
+        if node in self.members:
+            raise ValueError(f"node {node!r} is already a member")
+        event = MembershipEvent(
+            kind="join", node=node, view_number=self.view_number + 1
+        )
+        return self._decide(event, self.members + [node])
+
+    def propose_leave(self, node: Hashable) -> bool:
+        """Propose removing ``node``; returns ``True`` if the view changed."""
+        if node not in self.members:
+            raise ValueError(f"node {node!r} is not a member")
+        if node == self.manager:
+            raise ValueError("the manager cannot remove itself")
+        event = MembershipEvent(
+            kind="leave", node=node, view_number=self.view_number + 1
+        )
+        return self._decide(event, [m for m in self.members if m != node])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _decide(self, event: MembershipEvent, next_members: List[Hashable]) -> bool:
+        voters = self.members
+        approvals = sum(1 for member in voters if self._vote(member, event))
+        quorum = (2 * len(voters)) // 3 + 1
+        if approvals >= quorum:
+            self._views.append(
+                _View(number=event.view_number, members=sorted(next_members, key=repr))
+            )
+            return True
+        self._rejected.append(event)
+        return False

@@ -1,0 +1,72 @@
+"""Event queue of the discrete-event simulator.
+
+Events are ordered by simulated time, with a monotonically increasing
+sequence number as a tie-breaker so that events scheduled earlier run earlier
+when timestamps collide.  This makes simulations fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: simulated time at which the event fires.
+        sequence: insertion order, used as a deterministic tie-breaker.
+        action: zero-argument callable executed when the event fires.
+        cancelled: a cancelled event is skipped by the queue.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be silently skipped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at simulated ``time`` and return the event."""
+        if time < 0:
+            raise ValueError("events cannot be scheduled at negative times")
+        event = Event(time=time, sequence=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next pending event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

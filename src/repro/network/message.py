@@ -1,0 +1,73 @@
+"""Message and observation records exchanged through the simulator.
+
+A :class:`Message` is what protocol nodes send to each other; an
+:class:`Observation` is the simulator-side record of a delivery, which is the
+only information the honest-but-curious adversaries of
+:mod:`repro.adversary` are allowed to consume.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional
+
+_message_counter = itertools.count()
+
+
+def _next_message_uid() -> int:
+    return next(_message_counter)
+
+
+@dataclass
+class Message:
+    """A protocol message travelling over one overlay link.
+
+    Attributes:
+        kind: protocol-specific message type, e.g. ``"flood"`` or
+            ``"ad_token"``.
+        payload_id: identifier of the transaction / payload being spread.
+            All messages belonging to one broadcast share this id.
+        body: arbitrary protocol metadata (share bytes, round counters, ...).
+        size_bytes: accounted message size; used only for traffic statistics.
+        uid: unique identifier of this message instance.
+    """
+
+    kind: str
+    payload_id: Hashable
+    body: Dict[str, Any] = field(default_factory=dict)
+    size_bytes: int = 256
+    uid: int = field(default_factory=_next_message_uid)
+
+    def copy_for_forwarding(self) -> "Message":
+        """Return a fresh message instance carrying the same content.
+
+        Forwarded messages get their own ``uid`` so traffic accounting counts
+        every hop separately, exactly like a real network would.
+        """
+        return Message(
+            kind=self.kind,
+            payload_id=self.payload_id,
+            body=dict(self.body),
+            size_bytes=self.size_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class Observation:
+    """A single delivery as seen from the receiving node.
+
+    Attributes:
+        time: simulated delivery time.
+        receiver: node that received the message.
+        sender: node that sent the message (the previous hop).
+        message: the delivered message.
+        direct: ``True`` if the link used is an overlay edge, ``False`` for
+            out-of-band group traffic (e.g. DC-net exchanges).
+    """
+
+    time: float
+    receiver: Hashable
+    sender: Optional[Hashable]
+    message: Message
+    direct: bool = True

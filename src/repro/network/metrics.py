@@ -1,0 +1,137 @@
+"""Traffic and delivery metrics collected by the simulator.
+
+The paper's performance discussion (Section V-A) is phrased entirely in
+message counts ("12,500 messages with adaptive diffusion ... 7,000 messages
+for a regular flood and prune broadcast") and latency.  The collector records
+every send and every payload delivery so that the benchmarks can regenerate
+those numbers without protocol code having to count anything itself.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.network.message import Message, Observation
+
+
+@dataclass
+class MetricsCollector:
+    """Aggregates message traffic and payload delivery statistics."""
+
+    sends: List[Observation] = field(default_factory=list)
+    deliveries: Dict[Tuple[Hashable, Hashable], float] = field(
+        default_factory=dict
+    )
+    _sends_by_kind: Dict[str, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    _sends_by_payload: Dict[Hashable, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    _bytes_total: int = 0
+
+    def record_send(self, observation: Observation) -> None:
+        """Record one message delivery (equivalently: one link traversal)."""
+        self.sends.append(observation)
+        self._sends_by_kind[observation.message.kind] += 1
+        self._sends_by_payload[observation.message.payload_id] += 1
+        self._bytes_total += observation.message.size_bytes
+
+    def record_delivery(
+        self, node: Hashable, payload_id: Hashable, time: float
+    ) -> None:
+        """Record that ``node`` obtained the payload content at ``time``.
+
+        Only the first delivery per (node, payload) pair is kept; duplicates
+        caused by redundant links do not change the delivery time.
+        """
+        key = (node, payload_id)
+        if key not in self.deliveries:
+            self.deliveries[key] = time
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def message_count(
+        self,
+        kind: Optional[str] = None,
+        payload_id: Optional[Hashable] = None,
+    ) -> int:
+        """Total number of sent messages, optionally filtered."""
+        if kind is None and payload_id is None:
+            return len(self.sends)
+        if kind is not None and payload_id is None:
+            return self._sends_by_kind.get(kind, 0)
+        if kind is None and payload_id is not None:
+            return self._sends_by_payload.get(payload_id, 0)
+        return sum(
+            1
+            for obs in self.sends
+            if obs.message.kind == kind and obs.message.payload_id == payload_id
+        )
+
+    def bytes_sent(self) -> int:
+        """Total accounted traffic volume in bytes."""
+        return self._bytes_total
+
+    def kinds(self) -> Dict[str, int]:
+        """Message counts broken down by message kind."""
+        return dict(self._sends_by_kind)
+
+    def delivered_nodes(self, payload_id: Hashable) -> List[Hashable]:
+        """Nodes that received the payload content, in delivery order."""
+        entries = [
+            (time, node)
+            for (node, payload), time in self.deliveries.items()
+            if payload == payload_id
+        ]
+        entries.sort()
+        return [node for _, node in entries]
+
+    def reach(self, payload_id: Hashable) -> int:
+        """Number of distinct nodes that obtained the payload."""
+        return sum(1 for (_, payload) in self.deliveries if payload == payload_id)
+
+    def delivery_time(
+        self, node: Hashable, payload_id: Hashable
+    ) -> Optional[float]:
+        """When ``node`` first obtained the payload, or ``None``."""
+        return self.deliveries.get((node, payload_id))
+
+    def completion_time(self, payload_id: Hashable) -> Optional[float]:
+        """Time of the last first-delivery of the payload, or ``None``."""
+        times = [
+            time
+            for (_, payload), time in self.deliveries.items()
+            if payload == payload_id
+        ]
+        return max(times) if times else None
+
+    def first_observations(
+        self, payload_id: Hashable, kinds: Optional[Tuple[str, ...]] = None
+    ) -> Dict[Hashable, Observation]:
+        """First observation of the payload per receiving node.
+
+        This is the raw material of the first-spy adversary: for every node,
+        when did it first see any message of this payload and from whom.
+        """
+        first: Dict[Hashable, Observation] = {}
+        for obs in self.sends:
+            if obs.message.payload_id != payload_id:
+                continue
+            if kinds is not None and obs.message.kind not in kinds:
+                continue
+            if obs.receiver not in first:
+                first[obs.receiver] = obs
+        return first
+
+    def summary(self) -> Dict[str, float]:
+        """A compact dictionary of headline statistics."""
+        return {
+            "messages": float(len(self.sends)),
+            "bytes": float(self._bytes_total),
+            "payloads": float(len(self._sends_by_payload)),
+            "deliveries": float(len(self.deliveries)),
+        }

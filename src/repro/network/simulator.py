@@ -1,0 +1,211 @@
+"""The deterministic discrete-event network simulator.
+
+The simulator owns the overlay graph, the clock, the latency model and the
+metrics.  Protocol behaviour lives entirely in :class:`~repro.network.node.Node`
+subclasses; the simulator's job is to deliver their messages after the
+latency-model delay and to record every delivery as an
+:class:`~repro.network.message.Observation` so adversaries and benchmarks can
+analyse the run afterwards.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Hashable, Iterable, List, Optional
+
+import networkx as nx
+
+from repro.network.events import Event, EventQueue
+from repro.network.latency import ConstantLatency, LatencyModel
+from repro.network.message import Message, Observation
+from repro.network.metrics import MetricsCollector
+from repro.network.node import Node
+
+
+class Simulator:
+    """Discrete-event simulation of a peer-to-peer overlay.
+
+    Example:
+        >>> import networkx as nx
+        >>> from repro.network import Simulator
+        >>> sim = Simulator(nx.path_graph(3), seed=1)
+
+    Args:
+        graph: the overlay topology; node ids become simulator node ids.
+        latency: link latency model; defaults to one time unit per hop.
+        seed: seed of the simulator's RNG (used by protocols for coin flips).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        latency: Optional[LatencyModel] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("the overlay graph must not be empty")
+        self.graph = graph
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self.rng = random.Random(seed)
+        self.metrics = MetricsCollector()
+        self.observations: List[Observation] = []
+        self._queue = EventQueue()
+        self._nodes: Dict[Hashable, Node] = {}
+        self._now = 0.0
+        self._started = False
+        self._neighbour_cache: Dict[Hashable, List[Hashable]] = {}
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Register a node behaviour for an existing graph vertex."""
+        if node.node_id not in self.graph:
+            raise ValueError(f"node {node.node_id!r} is not part of the overlay")
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id!r} is already registered")
+        node.attach(self)
+        self._nodes[node.node_id] = node
+        return node
+
+    def populate(self, factory: Callable[[Hashable], Node]) -> None:
+        """Create one node behaviour per graph vertex using ``factory``."""
+        for node_id in sorted(self.graph.nodes, key=repr):
+            if node_id not in self._nodes:
+                self.add_node(factory(node_id))
+
+    def node(self, node_id: Hashable) -> Node:
+        """Return the behaviour registered for ``node_id``."""
+        return self._nodes[node_id]
+
+    @property
+    def nodes(self) -> Dict[Hashable, Node]:
+        """Mapping of node id to registered behaviour."""
+        return dict(self._nodes)
+
+    def neighbours_of(self, node_id: Hashable) -> List[Hashable]:
+        """Overlay neighbours of ``node_id`` in deterministic order."""
+        if node_id not in self._neighbour_cache:
+            self._neighbour_cache[node_id] = sorted(
+                self.graph.neighbors(node_id), key=repr
+            )
+        return list(self._neighbour_cache[node_id])
+
+    # ------------------------------------------------------------------
+    # Time and events
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule events in the past")
+        return self._queue.push(self._now + delay, action)
+
+    def send(
+        self,
+        sender: Hashable,
+        receiver: Hashable,
+        message: Message,
+        direct: bool = False,
+    ) -> None:
+        """Send ``message`` from ``sender`` to ``receiver``.
+
+        Overlay sends (``direct=False``) require an edge between the two
+        nodes; direct sends model out-of-band pairwise channels such as the
+        DC-net group traffic and are allowed between any pair.
+        """
+        if receiver not in self._nodes:
+            raise ValueError(f"receiver {receiver!r} is not registered")
+        if not direct and not self.graph.has_edge(sender, receiver):
+            raise ValueError(
+                f"no overlay edge between {sender!r} and {receiver!r}"
+            )
+        delay = self.latency.delay(sender, receiver)
+
+        def deliver() -> None:
+            observation = Observation(
+                time=self._now,
+                receiver=receiver,
+                sender=sender,
+                message=message,
+                direct=direct,
+            )
+            self.metrics.record_send(observation)
+            self.observations.append(observation)
+            self._nodes[receiver].on_message(sender, message)
+
+        self._queue.push(self._now + delay, deliver)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _start_nodes(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for node_id in sorted(self._nodes, key=repr):
+            self._nodes[node_id].on_start()
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the simulation until the queue drains or a limit is hit.
+
+        Args:
+            until: stop once the next event would fire after this time.
+            max_events: stop after executing this many events.
+
+        Returns:
+            The simulated time at which execution stopped.
+        """
+        self._start_nodes()
+        executed = 0
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self._now = until
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._queue.pop()
+            if event is None:
+                break
+            self._now = max(self._now, event.time)
+            event.action()
+            executed += 1
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Run until no events remain (with a generous safety valve)."""
+        return self.run(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Convenience queries used by experiments
+    # ------------------------------------------------------------------
+    def delivered_fraction(self, payload_id: Hashable) -> float:
+        """Fraction of overlay nodes that obtained the payload."""
+        return self.metrics.reach(payload_id) / self.graph.number_of_nodes()
+
+    def undelivered_nodes(self, payload_id: Hashable) -> List[Hashable]:
+        """Nodes that never obtained the payload."""
+        delivered = set(self.metrics.delivered_nodes(payload_id))
+        return [node for node in self.graph.nodes if node not in delivered]
+
+    def observations_for(
+        self, observers: Iterable[Hashable]
+    ) -> List[Observation]:
+        """Observations available to an honest-but-curious observer set.
+
+        Only deliveries *received by* one of the observers are visible; this
+        is exactly the information a botnet of passive nodes collects.
+        """
+        observer_set = set(observers)
+        return [obs for obs in self.observations if obs.receiver in observer_set]

@@ -1,0 +1,36 @@
+"""Privacy metrics: anonymity sets, entropy, detection statistics.
+
+The paper's privacy goals are phrased in three vocabularies that this package
+makes measurable:
+
+* **k-anonymity** (Phase 1): the attacker cannot narrow the originator down
+  below the honest members of the DC-net group —
+  :mod:`repro.privacy.anonymity`.
+* **Obfuscation / entropy** (Phase 2): the probability of identifying the
+  true origin should approach ``1/n`` (perfect obfuscation) —
+  :mod:`repro.privacy.entropy`.
+* **Detection statistics** (attacks): precision and recall of a
+  deanonymisation adversary over many transactions —
+  :mod:`repro.privacy.detection`.
+"""
+
+from repro.privacy.anonymity import anonymity_set_size, is_k_anonymous, k_anonymity_level
+from repro.privacy.detection import DetectionStats, evaluate_attack
+from repro.privacy.entropy import (
+    normalized_entropy,
+    obfuscation_gap,
+    shannon_entropy,
+    top_probability,
+)
+
+__all__ = [
+    "anonymity_set_size",
+    "is_k_anonymous",
+    "k_anonymity_level",
+    "DetectionStats",
+    "evaluate_attack",
+    "normalized_entropy",
+    "obfuscation_gap",
+    "shannon_entropy",
+    "top_probability",
+]

@@ -1,0 +1,58 @@
+"""Anonymity-set metrics (k-anonymity).
+
+An attacker's knowledge about the originator of a message is represented as
+a posterior probability distribution over candidate nodes.  The anonymity
+set is the set of candidates the attacker cannot rule out; the paper's
+Phase-1 guarantee is that this set contains all honest members of the DC-net
+group (``ℓ``-anonymity for ``ℓ ≤ k`` honest members).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+#: Posteriors below this weight are treated as "ruled out" by the attacker.
+DEFAULT_THRESHOLD = 1e-9
+
+
+def anonymity_set_size(
+    posterior: Dict[Hashable, float], threshold: float = DEFAULT_THRESHOLD
+) -> int:
+    """Number of candidates the attacker cannot rule out.
+
+    Args:
+        posterior: attacker's probability per candidate originator.
+        threshold: probabilities at or below this value count as ruled out.
+    """
+    if not posterior:
+        raise ValueError("the posterior distribution is empty")
+    return sum(1 for probability in posterior.values() if probability > threshold)
+
+
+def k_anonymity_level(
+    posterior: Dict[Hashable, float], threshold: float = DEFAULT_THRESHOLD
+) -> int:
+    """The ``k`` such that the distribution is k-anonymous but not (k+1).
+
+    Following the standard definition, a distribution is k-anonymous when the
+    attacker's best guess is right with probability at most ``1/k``; the
+    level reported is ``floor(1 / max_probability)`` (and never larger than
+    the anonymity-set size).
+    """
+    if not posterior:
+        raise ValueError("the posterior distribution is empty")
+    top = max(posterior.values())
+    if top <= threshold:
+        return len(posterior)
+    return min(int(1.0 / top + 1e-12), anonymity_set_size(posterior, threshold))
+
+
+def is_k_anonymous(
+    posterior: Dict[Hashable, float],
+    k: int,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> bool:
+    """Whether the attacker's best guess succeeds with probability <= 1/k."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    return k_anonymity_level(posterior, threshold) >= k

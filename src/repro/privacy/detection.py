@@ -1,0 +1,68 @@
+"""Detection statistics for deanonymisation attacks.
+
+An attack is evaluated over many broadcasts: for every broadcast the
+adversary either names a suspected originator or abstains.  Precision,
+recall and overall detection probability follow the definitions used in the
+Dandelion and deanonymisation literature the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DetectionStats:
+    """Aggregated outcome of a deanonymisation attack.
+
+    Attributes:
+        total: number of broadcasts evaluated.
+        guesses: number of broadcasts for which the attacker named a suspect.
+        correct: number of correct suspicions.
+    """
+
+    total: int
+    guesses: int
+    correct: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of guesses that were correct (1.0 when never guessing)."""
+        if self.guesses == 0:
+            return 1.0 if self.correct == 0 else 0.0
+        return self.correct / self.guesses
+
+    @property
+    def recall(self) -> float:
+        """Fraction of all broadcasts whose originator was identified."""
+        if self.total == 0:
+            return 0.0
+        return self.correct / self.total
+
+    @property
+    def detection_probability(self) -> float:
+        """Synonym for recall, the paper's "probability to detect the true origin"."""
+        return self.recall
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def evaluate_attack(
+    outcomes: Sequence[Tuple[Hashable, Optional[Hashable]]],
+) -> DetectionStats:
+    """Aggregate ``(true_source, guessed_source_or_None)`` pairs.
+
+    Args:
+        outcomes: one entry per broadcast; ``None`` as the guess means the
+            attacker abstained for that broadcast.
+    """
+    total = len(outcomes)
+    guesses = sum(1 for _, guess in outcomes if guess is not None)
+    correct = sum(1 for truth, guess in outcomes if guess is not None and guess == truth)
+    return DetectionStats(total=total, guesses=guesses, correct=correct)

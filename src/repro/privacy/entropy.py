@@ -1,0 +1,65 @@
+"""Entropy-based privacy metrics.
+
+Perfect obfuscation (the goal of adaptive diffusion, Section V-B of the
+paper) means the attacker's posterior over originators is uniform over all
+``n`` nodes: probability ``1/n`` each, i.e. maximal entropy.  These helpers
+quantify how far a posterior is from that ideal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable
+
+
+def _validate(posterior: Dict[Hashable, float]) -> None:
+    if not posterior:
+        raise ValueError("the posterior distribution is empty")
+    if any(p < -1e-12 for p in posterior.values()):
+        raise ValueError("probabilities must be non-negative")
+    total = sum(posterior.values())
+    if total <= 0:
+        raise ValueError("the posterior distribution sums to zero")
+
+
+def shannon_entropy(posterior: Dict[Hashable, float]) -> float:
+    """Shannon entropy (in bits) of a (possibly unnormalised) posterior."""
+    _validate(posterior)
+    total = sum(posterior.values())
+    entropy = 0.0
+    for probability in posterior.values():
+        p = probability / total
+        if p > 0:
+            entropy -= p * math.log2(p)
+    return entropy
+
+
+def normalized_entropy(posterior: Dict[Hashable, float]) -> float:
+    """Entropy divided by the maximum achievable entropy (``log2 n``).
+
+    1.0 means perfect obfuscation, 0.0 means the attacker is certain.
+    A single-candidate posterior has, by convention, normalised entropy 0.
+    """
+    _validate(posterior)
+    if len(posterior) == 1:
+        return 0.0
+    return shannon_entropy(posterior) / math.log2(len(posterior))
+
+
+def top_probability(posterior: Dict[Hashable, float]) -> float:
+    """The attacker's success probability with a single best guess."""
+    _validate(posterior)
+    total = sum(posterior.values())
+    return max(posterior.values()) / total
+
+
+def obfuscation_gap(posterior: Dict[Hashable, float], population: int) -> float:
+    """Distance of the best-guess probability from perfect obfuscation.
+
+    Perfect obfuscation over a population of ``n`` nodes gives the attacker a
+    ``1/n`` chance; the gap is ``top_probability - 1/n`` (>= 0 up to floating
+    point noise).
+    """
+    if population < 1:
+        raise ValueError("population must be positive")
+    return top_probability(posterior) - 1.0 / population

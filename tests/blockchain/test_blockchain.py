@@ -1,0 +1,179 @@
+"""Tests for the blockchain substrate."""
+
+import random
+
+import pytest
+
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.miner import Miner
+from repro.blockchain.transaction import Transaction
+from repro.blockchain.wallet import Wallet
+
+
+def make_tx(amount=10, fee=1, nonce=0, sender="alice", recipient="bob"):
+    return Transaction(sender=sender, recipient=recipient, amount=amount,
+                       fee=fee, nonce=nonce)
+
+
+class TestTransaction:
+    def test_serialization_roundtrip(self):
+        tx = make_tx()
+        assert Transaction.deserialize(tx.serialize()) == tx
+
+    def test_tx_id_stable_and_unique(self):
+        assert make_tx().tx_id == make_tx().tx_id
+        assert make_tx(nonce=1).tx_id != make_tx(nonce=2).tx_id
+
+    def test_invalid_amount_rejected(self):
+        with pytest.raises(ValueError):
+            make_tx(amount=0)
+
+    def test_negative_fee_rejected(self):
+        with pytest.raises(ValueError):
+            make_tx(fee=-1)
+
+    def test_invalid_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Transaction.deserialize(b"not json at all")
+
+
+class TestWallet:
+    def test_addresses_unique(self):
+        rng = random.Random(0)
+        assert Wallet(rng).address != Wallet(rng).address
+
+    def test_create_transaction_advances_nonce(self):
+        alice = Wallet(random.Random(0), label="alice")
+        bob = Wallet(random.Random(1), label="bob")
+        first = alice.create_transaction(bob, amount=5)
+        second = alice.create_transaction(bob, amount=5)
+        assert first.nonce == 0 and second.nonce == 1
+        assert first.tx_id != second.tx_id
+        assert first.recipient == bob.address
+
+    def test_string_recipient_accepted(self):
+        alice = Wallet(random.Random(0))
+        tx = alice.create_transaction("some-address", amount=3)
+        assert tx.recipient == "some-address"
+
+
+class TestMempool:
+    def test_add_and_duplicate(self):
+        pool = Mempool()
+        tx = make_tx()
+        assert pool.add(tx)
+        assert not pool.add(tx)
+        assert len(pool) == 1
+        assert tx.tx_id in pool
+
+    def test_selection_orders_by_fee(self):
+        pool = Mempool()
+        low = make_tx(fee=1, nonce=1)
+        high = make_tx(fee=10, nonce=2)
+        mid = make_tx(fee=5, nonce=3)
+        for tx in (low, high, mid):
+            pool.add(tx)
+        assert pool.select_for_block(2) == [high, mid]
+
+    def test_eviction_when_full(self):
+        pool = Mempool(max_size=2)
+        pool.add(make_tx(fee=1, nonce=1))
+        pool.add(make_tx(fee=5, nonce=2))
+        assert pool.add(make_tx(fee=10, nonce=3))
+        assert len(pool) == 2
+        fees = sorted(tx.fee for tx in pool.all_transactions())
+        assert fees == [5, 10]
+
+    def test_low_fee_rejected_when_full(self):
+        pool = Mempool(max_size=1)
+        pool.add(make_tx(fee=5, nonce=1))
+        assert not pool.add(make_tx(fee=1, nonce=2))
+
+    def test_remove_and_get(self):
+        pool = Mempool()
+        tx = make_tx()
+        pool.add(tx)
+        assert pool.get(tx.tx_id) == tx
+        assert pool.remove(tx.tx_id) == tx
+        assert pool.get(tx.tx_id) is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Mempool(max_size=0)
+        with pytest.raises(ValueError):
+            Mempool().select_for_block(-1)
+
+
+class TestBlockAndChain:
+    def test_genesis_exists(self):
+        chain = Blockchain(difficulty_bits=0)
+        assert len(chain) == 1
+        assert chain.tip.height == 0
+
+    def test_append_and_validate(self):
+        chain = Blockchain(difficulty_bits=0)
+        block = Block(height=1, previous_hash=chain.tip.block_hash,
+                      transactions=(make_tx(),), miner="m")
+        chain.append(block)
+        assert len(chain) == 2
+        assert chain.validate()
+        assert chain.contains_transaction(make_tx().tx_id)
+        assert chain.find_block_of(make_tx().tx_id) == block
+
+    def test_wrong_previous_hash_rejected(self):
+        chain = Blockchain(difficulty_bits=0)
+        with pytest.raises(ValueError):
+            chain.append(Block(height=1, previous_hash="bogus"))
+
+    def test_wrong_height_rejected(self):
+        chain = Blockchain(difficulty_bits=0)
+        with pytest.raises(ValueError):
+            chain.append(Block(height=5, previous_hash=chain.tip.block_hash))
+
+    def test_duplicate_transaction_rejected(self):
+        chain = Blockchain(difficulty_bits=0)
+        tx = make_tx()
+        chain.append(Block(height=1, previous_hash=chain.tip.block_hash,
+                           transactions=(tx,)))
+        with pytest.raises(ValueError):
+            chain.append(Block(height=2, previous_hash=chain.tip.block_hash,
+                               transactions=(tx,)))
+
+    def test_difficulty_enforced(self):
+        chain = Blockchain(difficulty_bits=200)  # essentially unreachable
+        block = Block(height=1, previous_hash=chain.tip.block_hash)
+        with pytest.raises(ValueError):
+            chain.append(block)
+
+    def test_block_fees_and_merkle(self):
+        block = Block(height=1, previous_hash="x",
+                      transactions=(make_tx(fee=2), make_tx(fee=3, nonce=5)))
+        assert block.total_fees() == 5
+        assert block.merkle_root() != Block(height=1, previous_hash="x").merkle_root()
+
+
+class TestMiner:
+    def test_mines_and_collects_fees(self):
+        chain = Blockchain(difficulty_bits=4)
+        pool = Mempool()
+        for nonce in range(5):
+            pool.add(make_tx(fee=nonce + 1, nonce=nonce))
+        miner = Miner("miner-addr", chain, pool, block_size=3, rng=random.Random(0))
+        block = miner.mine_block()
+        assert block is not None
+        assert len(block.transactions) == 3
+        assert miner.earned_fees == sum(tx.fee for tx in block.transactions)
+        assert len(pool) == 2
+
+    def test_empty_mempool_produces_empty_block(self):
+        chain = Blockchain(difficulty_bits=2)
+        miner = Miner("m", chain, Mempool(), rng=random.Random(1))
+        block = miner.mine_block()
+        assert block is not None
+        assert block.transactions == ()
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            Miner("m", Blockchain(), Mempool(), block_size=0)

@@ -1,0 +1,58 @@
+"""Tests for simulated pairwise channels."""
+
+import random
+
+import pytest
+
+from repro.crypto.channels import ChannelKeystore, PairwiseChannel
+
+
+class TestPairwiseChannel:
+    def test_both_endpoints_derive_same_keystream(self):
+        a = PairwiseChannel(1, 2, secret=b"shared")
+        b = PairwiseChannel(2, 1, secret=b"shared")
+        assert a.keystream(0, 64) == b.keystream(0, 64)
+
+    def test_rounds_are_independent(self):
+        channel = PairwiseChannel(1, 2, secret=b"shared")
+        assert channel.keystream(0, 32) != channel.keystream(1, 32)
+
+    def test_keystream_length(self):
+        channel = PairwiseChannel(1, 2, secret=b"s")
+        for length in [0, 1, 31, 32, 33, 100]:
+            assert len(channel.keystream(5, length)) == length
+
+    def test_different_secrets_differ(self):
+        a = PairwiseChannel(1, 2, secret=b"x")
+        b = PairwiseChannel(1, 2, secret=b"y")
+        assert a.keystream(0, 32) != b.keystream(0, 32)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            PairwiseChannel(1, 2, secret=b"s").keystream(0, -1)
+
+
+class TestChannelKeystore:
+    def test_same_pair_gets_same_secret(self):
+        store = ChannelKeystore(random.Random(0))
+        c1 = store.channel(1, 2)
+        c2 = store.channel(2, 1)
+        assert c1.keystream(3, 16) == c2.keystream(3, 16)
+
+    def test_different_pairs_get_different_secrets(self):
+        store = ChannelKeystore(random.Random(0))
+        a = store.channel(1, 2)
+        b = store.channel(1, 3)
+        assert a.keystream(0, 32) != b.keystream(0, 32)
+
+    def test_self_channel_rejected(self):
+        store = ChannelKeystore(random.Random(0))
+        with pytest.raises(ValueError):
+            store.channel(1, 1)
+
+    def test_len_counts_unique_pairs(self):
+        store = ChannelKeystore(random.Random(0))
+        store.channel(1, 2)
+        store.channel(2, 1)
+        store.channel(1, 3)
+        assert len(store) == 2

@@ -1,0 +1,36 @@
+"""Tests for the hash commitments used by the blame protocol."""
+
+import random
+
+from repro.crypto.commitments import Commitment, commit, verify_commitment
+
+
+class TestCommit:
+    def test_commitment_carries_opening(self):
+        c = commit(b"pad bytes", random.Random(0))
+        assert c.is_open
+        assert c.value == b"pad bytes"
+
+    def test_valid_opening_verifies(self):
+        c = commit(b"pad bytes", random.Random(1))
+        assert verify_commitment(c)
+
+    def test_hiding_distinct_digests_for_same_value(self):
+        rng = random.Random(2)
+        assert commit(b"v", rng).digest != commit(b"v", rng).digest
+
+    def test_binding_wrong_value_rejected(self):
+        c = commit(b"original", random.Random(3))
+        forged = c.opened(b"different", c.nonce)
+        assert not verify_commitment(forged)
+
+    def test_binding_wrong_nonce_rejected(self):
+        c = commit(b"original", random.Random(4))
+        forged = c.opened(c.value, b"\x00" * 16)
+        assert not verify_commitment(forged)
+
+    def test_unopened_commitment_does_not_verify(self):
+        c = commit(b"original", random.Random(5))
+        unopened = Commitment(digest=c.digest)
+        assert not unopened.is_open
+        assert not verify_commitment(unopened)

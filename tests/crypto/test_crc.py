@@ -1,0 +1,64 @@
+"""Tests for the table-driven CRC-32 implementation."""
+
+import binascii
+import random
+
+import pytest
+
+from repro.crypto.crc import CRC32, CRC_BYTES, append_crc, crc32, split_crc, verify_crc
+
+
+class TestCrc32:
+    def test_matches_reference_implementation(self):
+        for data in [b"", b"a", b"hello world", bytes(range(256))]:
+            assert crc32(data) == binascii.crc32(data)
+
+    def test_matches_reference_on_random_data(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            data = bytes(rng.getrandbits(8) for _ in range(rng.randrange(0, 200)))
+            assert crc32(data) == binascii.crc32(data)
+
+    def test_incremental_equals_one_shot(self):
+        crc = CRC32()
+        crc.update(b"hello ")
+        crc.update(b"world")
+        assert crc.digest() == crc32(b"hello world")
+
+    def test_different_data_different_checksum(self):
+        assert crc32(b"one") != crc32(b"two")
+
+
+class TestFraming:
+    def test_append_and_verify_roundtrip(self):
+        framed = append_crc(b"payload")
+        assert verify_crc(framed)
+
+    def test_split_returns_payload(self):
+        framed = append_crc(b"payload")
+        payload, checksum = split_crc(framed)
+        assert payload == b"payload"
+        assert checksum == crc32(b"payload")
+
+    def test_framed_length(self):
+        assert len(append_crc(b"abc")) == 3 + CRC_BYTES
+
+    def test_corruption_detected(self):
+        framed = bytearray(append_crc(b"a transaction"))
+        framed[0] ^= 0xFF
+        assert not verify_crc(bytes(framed))
+
+    def test_xor_of_two_framed_messages_is_invalid(self):
+        # This is exactly how DC-net collisions manifest: the XOR of two valid
+        # framed payloads is (almost surely) not a valid framed payload.
+        a = append_crc(b"first message!!")
+        b = append_crc(b"second message!")
+        collided = bytes(x ^ y for x, y in zip(a, b))
+        assert not verify_crc(collided)
+
+    def test_too_short_frame_is_invalid(self):
+        assert not verify_crc(b"ab")
+
+    def test_split_too_short_raises(self):
+        with pytest.raises(ValueError):
+            split_crc(b"ab")

@@ -1,0 +1,94 @@
+"""Tests for identity/message hashing and the closest-identity rule."""
+
+import pytest
+
+from repro.crypto.hashing import (
+    HASH_SPACE,
+    closest_identity,
+    hash_bytes,
+    hash_distance,
+    hash_identity,
+    hash_message,
+    hash_to_int,
+)
+
+
+class TestHashToInt:
+    def test_deterministic(self):
+        assert hash_to_int(b"abc") == hash_to_int(b"abc")
+
+    def test_within_hash_space(self):
+        assert 0 <= hash_to_int(b"abc") < HASH_SPACE
+
+    def test_domain_separation(self):
+        assert hash_to_int(b"abc", domain="a") != hash_to_int(b"abc", domain="b")
+
+    def test_accepts_int_str_bytes(self):
+        values = {hash_to_int(5), hash_to_int("5"), hash_to_int(b"\x05")}
+        assert len(values) >= 2  # at least str vs bytes/int differ via encoding
+
+    def test_rejects_unhashable_type(self):
+        with pytest.raises(TypeError):
+            hash_to_int(3.14)  # type: ignore[arg-type]
+
+    def test_identity_and_message_domains_differ(self):
+        assert hash_identity(42) != hash_message(42)
+
+
+class TestHashBytes:
+    def test_sha256_length(self):
+        assert len(hash_bytes(b"payload")) == 32
+
+    def test_different_inputs_differ(self):
+        assert hash_bytes(b"a") != hash_bytes(b"b")
+
+
+class TestHashDistance:
+    def test_zero_for_equal_points(self):
+        assert hash_distance(123, 123) == 0
+
+    def test_symmetry(self):
+        assert hash_distance(10, 500) == hash_distance(500, 10)
+
+    def test_wraps_around_the_ring(self):
+        near_max = HASH_SPACE - 1
+        assert hash_distance(near_max, 0) == 1
+
+    def test_never_exceeds_half_ring(self):
+        assert hash_distance(0, HASH_SPACE // 2 + 10) <= HASH_SPACE // 2
+
+
+class TestClosestIdentity:
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            closest_identity(b"msg", [])
+
+    def test_single_member_is_selected(self):
+        assert closest_identity(b"msg", [7]) == 7
+
+    def test_deterministic_selection(self):
+        group = list(range(10))
+        first = closest_identity(b"some transaction", group)
+        second = closest_identity(b"some transaction", group)
+        assert first == second
+
+    def test_selection_independent_of_order(self):
+        group = list(range(10))
+        assert closest_identity(b"tx", group) == closest_identity(
+            b"tx", list(reversed(group))
+        )
+
+    def test_selected_member_minimises_distance(self):
+        group = list(range(20))
+        winner = closest_identity(b"tx-abc", group)
+        target = hash_message(b"tx-abc")
+        winner_distance = hash_distance(hash_identity(winner), target)
+        for member in group:
+            assert winner_distance <= hash_distance(hash_identity(member), target)
+
+    def test_different_messages_select_different_members(self):
+        group = list(range(50))
+        winners = {
+            closest_identity(f"tx-{i}".encode(), group) for i in range(30)
+        }
+        assert len(winners) > 1

@@ -1,0 +1,99 @@
+"""Tests for XOR pads and DC-net share splitting."""
+
+import random
+
+import pytest
+
+from repro.crypto.pads import (
+    combine_shares,
+    random_pad,
+    split_into_shares,
+    xor_bytes,
+    zero_bytes,
+)
+
+
+class TestXorBytes:
+    def test_self_inverse(self):
+        data = b"blockchain"
+        pad = b"0123456789"
+        assert xor_bytes(xor_bytes(data, pad), pad) == data
+
+    def test_identity_with_zero(self):
+        data = b"abc"
+        assert xor_bytes(data, zero_bytes(3)) == data
+
+    def test_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"abc", b"ab")
+
+    def test_requires_at_least_one_operand(self):
+        with pytest.raises(ValueError):
+            xor_bytes()
+
+    def test_associative_and_commutative(self):
+        a, b, c = b"aaa", b"bbb", b"ccc"
+        assert xor_bytes(a, b, c) == xor_bytes(c, a, b)
+
+
+class TestZeroBytes:
+    def test_length(self):
+        assert len(zero_bytes(16)) == 16
+
+    def test_all_zero(self):
+        assert set(zero_bytes(8)) == {0}
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            zero_bytes(-1)
+
+
+class TestRandomPad:
+    def test_length(self):
+        rng = random.Random(0)
+        assert len(random_pad(rng, 32)) == 32
+
+    def test_deterministic_under_seed(self):
+        assert random_pad(random.Random(7), 16) == random_pad(random.Random(7), 16)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            random_pad(random.Random(0), -5)
+
+
+class TestShareSplitting:
+    def test_shares_recombine_to_message(self):
+        rng = random.Random(1)
+        message = b"a transaction payload"
+        shares = split_into_shares(message, 5, rng)
+        assert combine_shares(shares) == message
+
+    def test_share_count(self):
+        rng = random.Random(2)
+        assert len(split_into_shares(b"msg", 7, rng)) == 7
+
+    def test_single_share_is_the_message(self):
+        rng = random.Random(3)
+        assert split_into_shares(b"msg", 1, rng) == [b"msg"]
+
+    def test_zero_message_recombines_to_zero(self):
+        rng = random.Random(4)
+        shares = split_into_shares(zero_bytes(16), 4, rng)
+        assert combine_shares(shares) == zero_bytes(16)
+
+    def test_strict_subset_does_not_reveal_message(self):
+        # Statistical sanity check: the XOR of any k-1 shares differs from the
+        # message (overwhelmingly likely for 16-byte random pads).
+        rng = random.Random(5)
+        message = b"sixteen byte msg"
+        shares = split_into_shares(message, 4, rng)
+        partial = combine_shares(shares[:-1])
+        assert partial != message
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            split_into_shares(b"msg", 0, random.Random(0))
+
+    def test_combine_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_shares([])

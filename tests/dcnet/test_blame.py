@@ -1,0 +1,128 @@
+"""Tests for the simplified blame protocol."""
+
+import random
+
+import pytest
+
+from repro.crypto.pads import xor_bytes, zero_bytes
+from repro.dcnet.blame import BlameProtocol
+from repro.dcnet.member import DCNetMember
+
+
+FRAME = 16
+
+
+def framed(payload: bytes) -> bytes:
+    return payload + bytes(FRAME - len(payload))
+
+
+def run_committed_round(group, sender_messages, rng, cheat=None):
+    """Run a round with commitments; returns (protocol, opened, received)."""
+    protocol = BlameProtocol(group, FRAME)
+    members = {m: DCNetMember(m, group, FRAME) for m in group}
+    opened = {}
+    received = {m: {} for m in group}
+    for member_id in group:
+        shares = members[member_id].prepare_shares(
+            sender_messages.get(member_id), rng
+        )
+        if cheat and member_id in cheat:
+            shares = cheat[member_id](shares)
+        protocol.register_commitments(member_id, members[member_id].sent_shares, rng)
+        opened[member_id] = members[member_id].sent_shares
+        for peer, share in shares.items():
+            received[peer][member_id] = share
+    return protocol, opened, received
+
+
+class TestBlameProtocol:
+    def test_requires_valid_group(self):
+        with pytest.raises(ValueError):
+            BlameProtocol(["only"], FRAME)
+        with pytest.raises(ValueError):
+            BlameProtocol(["a", "b"], 0)
+
+    def test_commitment_for_non_member_rejected(self):
+        protocol = BlameProtocol(["a", "b"], FRAME)
+        with pytest.raises(ValueError):
+            protocol.register_commitments("z", {}, random.Random(0))
+
+    def test_honest_round_produces_clean_verdict(self):
+        group = ["a", "b", "c", "d"]
+        rng = random.Random(0)
+        protocol, opened, received = run_committed_round(
+            group, {"a": framed(b"msg")}, rng
+        )
+        verdict = protocol.investigate(opened, received, claimed_senders=["a"])
+        assert verdict.clean
+
+    def test_honest_collision_is_not_blamed(self):
+        group = ["a", "b", "c", "d"]
+        rng = random.Random(1)
+        protocol, opened, received = run_committed_round(
+            group, {"a": framed(b"x"), "b": framed(b"y")}, rng
+        )
+        verdict = protocol.investigate(opened, received, claimed_senders=["a", "b"])
+        assert verdict.blamed == []
+
+    def test_unclaimed_sender_is_blamed(self):
+        # Member "d" secretly transmits (claims nothing): detected because the
+        # XOR of its opened shares is non-zero.
+        group = ["a", "b", "c", "d"]
+        rng = random.Random(2)
+        protocol, opened, received = run_committed_round(
+            group, {"a": framed(b"legit"), "d": framed(b"disrupt")}, rng
+        )
+        verdict = protocol.investigate(opened, received, claimed_senders=["a"])
+        assert verdict.blamed == ["d"]
+        assert "without claiming" in verdict.reasons["d"]
+
+    def test_wire_mismatch_is_blamed(self):
+        group = ["a", "b", "c"]
+        rng = random.Random(3)
+        protocol, opened, received = run_committed_round(
+            group, {"a": framed(b"legit")}, rng
+        )
+        # "c" sent something different from what it committed to / opened.
+        victim = next(iter(received["a"]))  # any sender into a's inbox
+        received["a"]["c"] = xor_bytes(received["a"]["c"], framed(b"garbage"))
+        verdict = protocol.investigate(opened, received, claimed_senders=["a"])
+        assert "c" in verdict.blamed
+
+    def test_refusing_to_open_is_blamed(self):
+        group = ["a", "b", "c"]
+        rng = random.Random(4)
+        protocol, opened, received = run_committed_round(group, {}, rng)
+        del opened["b"]
+        verdict = protocol.investigate(opened, received, claimed_senders=[])
+        assert verdict.blamed == ["b"]
+
+    def test_incomplete_opening_is_blamed(self):
+        group = ["a", "b", "c"]
+        rng = random.Random(5)
+        protocol, opened, received = run_committed_round(group, {}, rng)
+        opened["b"] = {k: v for k, v in list(opened["b"].items())[:1]}
+        verdict = protocol.investigate(opened, received, claimed_senders=[])
+        assert "b" in verdict.blamed
+
+    def test_opening_mismatching_commitment_is_blamed(self):
+        group = ["a", "b", "c"]
+        rng = random.Random(6)
+        protocol, opened, received = run_committed_round(group, {}, rng)
+        opened["c"] = {peer: zero_bytes(FRAME) for peer in opened["c"]}
+        # Unless "c" genuinely committed to all-zero shares (astronomically
+        # unlikely), the opening cannot match the commitment digests.
+        verdict = protocol.investigate(opened, received, claimed_senders=[])
+        assert "c" in verdict.blamed
+
+    def test_missing_shares_recommend_dissolution(self):
+        group = ["a", "b", "c"]
+        rng = random.Random(7)
+        protocol, opened, received = run_committed_round(group, {}, rng)
+        received["a"].pop("b")  # a reports never receiving b's share
+        # b's opening is consistent, so nobody is individually blamed, but the
+        # round was disrupted: the group should dissolve and re-form.
+        verdict = protocol.investigate(opened, received, claimed_senders=[])
+        assert verdict.blamed == [] or "b" in verdict.blamed
+        if not verdict.blamed:
+            assert verdict.dissolve_recommended

@@ -1,0 +1,93 @@
+"""Tests for payload framing, collision detection, backoff and announcements."""
+
+import random
+
+import pytest
+
+from repro.crypto.pads import xor_bytes
+from repro.dcnet.announcement import (
+    ANNOUNCEMENT_FRAME_BYTES,
+    decode_announcement,
+    encode_announcement,
+    idle_announcement,
+)
+from repro.dcnet.collision import BackoffPolicy, decode_payload, encode_payload
+
+
+class TestPayloadFraming:
+    def test_roundtrip(self):
+        frame = encode_payload(b"a blockchain transaction", 64)
+        assert len(frame) == 64
+        assert decode_payload(frame) == b"a blockchain transaction"
+
+    def test_collision_of_two_frames_detected(self):
+        a = encode_payload(b"first transaction", 64)
+        b = encode_payload(b"second transaction", 64)
+        assert decode_payload(xor_bytes(a, b)) is None
+
+    def test_payload_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            encode_payload(b"x" * 60, 64)
+
+    def test_frame_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            encode_payload(b"x", 8)
+
+    def test_corrupted_frame_detected(self):
+        frame = bytearray(encode_payload(b"payload", 32))
+        frame[5] ^= 0x01
+        assert decode_payload(bytes(frame)) is None
+
+
+class TestBackoffPolicy:
+    def test_delay_within_window(self):
+        policy = BackoffPolicy(random.Random(0), base_window=2, max_window=32)
+        for attempt in range(1, 8):
+            delay = policy.delay_rounds(attempt)
+            assert 1 <= delay <= min(2**attempt, 32)
+
+    def test_window_capped(self):
+        policy = BackoffPolicy(random.Random(0), base_window=2, max_window=4)
+        assert all(policy.delay_rounds(10) <= 4 for _ in range(20))
+
+    def test_invalid_attempt_rejected(self):
+        policy = BackoffPolicy(random.Random(0))
+        with pytest.raises(ValueError):
+            policy.delay_rounds(0)
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(random.Random(0), base_window=0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(random.Random(0), base_window=4, max_window=2)
+
+
+class TestAnnouncements:
+    def test_roundtrip(self):
+        assert decode_announcement(encode_announcement(1234)) == 1234
+
+    def test_idle_frame_decodes_to_zero(self):
+        assert decode_announcement(idle_announcement()) == 0
+
+    def test_idle_frame_is_all_zero(self):
+        assert idle_announcement() == bytes(ANNOUNCEMENT_FRAME_BYTES)
+
+    def test_collision_detected(self):
+        a = encode_announcement(100)
+        b = encode_announcement(200)
+        assert decode_announcement(xor_bytes(a, b)) is None
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            encode_announcement(-1)
+
+    def test_too_large_length_rejected(self):
+        with pytest.raises(ValueError):
+            encode_announcement(2**32)
+
+    def test_wrong_frame_size_rejected(self):
+        with pytest.raises(ValueError):
+            decode_announcement(b"\x00" * 7)
+
+    def test_announcement_frame_is_eight_bytes(self):
+        assert len(encode_announcement(42)) == ANNOUNCEMENT_FRAME_BYTES

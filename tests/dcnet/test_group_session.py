@@ -1,0 +1,164 @@
+"""Tests for the multi-round DC-net group session."""
+
+import random
+
+import pytest
+
+from repro.dcnet.group_session import DCNetGroupSession
+from repro.dcnet.round import expected_messages
+
+
+def make_session(size=5, seed=0, **kwargs):
+    return DCNetGroupSession(list(range(size)), random.Random(seed), **kwargs)
+
+
+class TestSessionBasics:
+    def test_group_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            DCNetGroupSession([1], random.Random(0))
+
+    def test_queue_for_non_member_rejected(self):
+        session = make_session()
+        with pytest.raises(ValueError):
+            session.queue_message(99, b"tx")
+
+    def test_empty_payload_rejected(self):
+        session = make_session()
+        with pytest.raises(ValueError):
+            session.queue_message(0, b"")
+
+    def test_group_size(self):
+        assert make_session(size=7).group_size == 7
+
+    def test_expected_round_messages_matches_formula(self):
+        session = make_session(size=6)
+        assert session.expected_round_messages() == expected_messages(6)
+
+
+class TestIdleRounds:
+    def test_idle_round_outcome(self):
+        session = make_session()
+        outcome = session.run_round()
+        assert outcome.kind == "idle"
+        assert outcome.payload is None
+
+    def test_idle_round_uses_announcement_frames_only(self):
+        session = make_session(size=5)
+        outcome = session.run_round()
+        assert outcome.messages_sent == expected_messages(5)
+        assert outcome.bytes_sent == expected_messages(5) * 8
+
+    def test_idle_stats_accumulate(self):
+        session = make_session()
+        for _ in range(3):
+            session.run_round()
+        assert session.stats.idle_rounds == 3
+        assert session.stats.rounds == 3
+
+
+class TestSingleSender:
+    def test_payload_delivered(self):
+        session = make_session()
+        session.queue_message(2, b"a transaction")
+        outcome = session.run_round()
+        assert outcome.kind == "delivery"
+        assert outcome.payload == b"a transaction"
+        assert outcome.true_sender == 2
+
+    def test_queue_drains(self):
+        session = make_session()
+        session.queue_message(2, b"tx")
+        assert session.pending_messages() == 1
+        session.run_round()
+        assert session.pending_messages() == 0
+
+    def test_delivery_costs_two_rounds_of_messages(self):
+        session = make_session(size=4)
+        session.queue_message(1, b"tx payload")
+        outcome = session.run_round()
+        # Announcement round plus payload round.
+        assert outcome.messages_sent == 2 * expected_messages(4)
+
+    def test_large_payload_roundtrip(self):
+        session = make_session()
+        payload = bytes(range(256)) * 4
+        session.queue_message(0, payload)
+        outcome = session.run_round()
+        assert outcome.payload == payload
+
+    def test_multiple_messages_from_one_member(self):
+        session = make_session()
+        session.queue_message(3, b"tx-1")
+        session.queue_message(3, b"tx-2")
+        outcomes = session.run_until_empty()
+        delivered = [o.payload for o in outcomes if o.kind == "delivery"]
+        assert delivered == [b"tx-1", b"tx-2"]
+
+
+class TestCollisions:
+    def test_two_senders_collide_then_recover(self):
+        session = make_session(seed=3)
+        session.queue_message(0, b"tx from zero")
+        session.queue_message(1, b"tx from one")
+        outcomes = session.run_until_empty(max_rounds=100)
+        kinds = [o.kind for o in outcomes]
+        assert "collision" in kinds
+        delivered = {o.payload for o in outcomes if o.kind == "delivery"}
+        assert delivered == {b"tx from zero", b"tx from one"}
+
+    def test_collision_counted_in_stats(self):
+        session = make_session(seed=3)
+        session.queue_message(0, b"a")
+        session.queue_message(1, b"b")
+        session.run_until_empty(max_rounds=100)
+        assert session.stats.collisions >= 1
+        assert session.stats.deliveries == 2
+
+    def test_many_senders_eventually_all_delivered(self):
+        session = make_session(size=6, seed=7)
+        for member in range(6):
+            session.queue_message(member, f"tx-{member}".encode())
+        outcomes = session.run_until_empty(max_rounds=500)
+        delivered = {o.payload for o in outcomes if o.kind == "delivery"}
+        assert delivered == {f"tx-{m}".encode() for m in range(6)}
+
+    def test_run_until_empty_raises_when_not_drained(self):
+        session = make_session()
+        session.queue_message(0, b"tx")
+        session.queue_message(1, b"tx2")
+        with pytest.raises(RuntimeError):
+            session.run_until_empty(max_rounds=1)
+
+
+class TestFixedFrameMode:
+    def test_delivery_without_announcements(self):
+        session = make_session(announcement_rounds=False, fixed_frame_length=64)
+        session.queue_message(4, b"fixed frame payload")
+        outcome = session.run_round()
+        assert outcome.kind == "delivery"
+        assert outcome.payload == b"fixed frame payload"
+
+    def test_idle_round_costs_full_frames(self):
+        session = make_session(
+            size=4, announcement_rounds=False, fixed_frame_length=128
+        )
+        outcome = session.run_round()
+        assert outcome.kind == "idle"
+        assert outcome.bytes_sent == expected_messages(4) * 128
+
+    def test_announcement_mode_idle_cheaper_than_fixed(self):
+        announced = make_session(size=5, announcement_rounds=True)
+        fixed = make_session(size=5, announcement_rounds=False, fixed_frame_length=256)
+        a = announced.run_round()
+        f = fixed.run_round()
+        assert a.bytes_sent < f.bytes_sent
+
+    def test_fixed_mode_collision_recovery(self):
+        session = make_session(
+            size=4, seed=5, announcement_rounds=False, fixed_frame_length=64
+        )
+        session.queue_message(0, b"one")
+        session.queue_message(1, b"two")
+        outcomes = session.run_until_empty(max_rounds=100)
+        delivered = {o.payload for o in outcomes if o.kind == "delivery"}
+        assert delivered == {b"one", b"two"}

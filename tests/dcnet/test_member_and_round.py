@@ -1,0 +1,168 @@
+"""Tests for the per-member state machine and whole-group DC-net rounds."""
+
+import random
+
+import pytest
+
+from repro.crypto.pads import xor_bytes, zero_bytes
+from repro.dcnet.member import DCNetMember
+from repro.dcnet.round import expected_messages, run_round
+
+
+FRAME = 32
+
+
+def framed(payload: bytes) -> bytes:
+    """Pad a payload to the test frame length without CRC (raw XOR content)."""
+    return payload + bytes(FRAME - len(payload))
+
+
+class TestDCNetMember:
+    def test_requires_membership_of_own_group(self):
+        with pytest.raises(ValueError):
+            DCNetMember("x", ["a", "b"], FRAME)
+
+    def test_requires_two_members(self):
+        with pytest.raises(ValueError):
+            DCNetMember("a", ["a"], FRAME)
+
+    def test_requires_positive_frame_length(self):
+        with pytest.raises(ValueError):
+            DCNetMember("a", ["a", "b"], 0)
+
+    def test_prepare_shares_one_per_peer(self):
+        member = DCNetMember("a", ["a", "b", "c", "d"], FRAME)
+        shares = member.prepare_shares(framed(b"msg"), random.Random(0))
+        assert set(shares) == {"b", "c", "d"}
+        assert all(len(s) == FRAME for s in shares.values())
+
+    def test_shares_xor_to_message(self):
+        member = DCNetMember("a", ["a", "b", "c", "d"], FRAME)
+        message = framed(b"the payload")
+        shares = member.prepare_shares(message, random.Random(0))
+        assert xor_bytes(*shares.values()) == message
+
+    def test_none_message_contributes_zero(self):
+        member = DCNetMember("a", ["a", "b", "c"], FRAME)
+        shares = member.prepare_shares(None, random.Random(0))
+        assert xor_bytes(*shares.values()) == zero_bytes(FRAME)
+
+    def test_wrong_message_length_rejected(self):
+        member = DCNetMember("a", ["a", "b"], FRAME)
+        with pytest.raises(ValueError):
+            member.prepare_shares(b"too short", random.Random(0))
+
+    def test_step_order_enforced(self):
+        member = DCNetMember("a", ["a", "b"], FRAME)
+        with pytest.raises(RuntimeError):
+            member.receive_shares({"b": zero_bytes(FRAME)})
+        with pytest.raises(RuntimeError):
+            member.receive_accumulations({"b": zero_bytes(FRAME)})
+        with pytest.raises(RuntimeError):
+            member.recover()
+
+    def test_missing_peer_share_rejected(self):
+        member = DCNetMember("a", ["a", "b", "c"], FRAME)
+        member.prepare_shares(None, random.Random(0))
+        with pytest.raises(ValueError):
+            member.receive_shares({"b": zero_bytes(FRAME)})
+
+    def test_unexpected_peer_share_rejected(self):
+        member = DCNetMember("a", ["a", "b"], FRAME)
+        member.prepare_shares(None, random.Random(0))
+        with pytest.raises(ValueError):
+            member.receive_shares({"b": zero_bytes(FRAME), "z": zero_bytes(FRAME)})
+
+    def test_wrong_share_length_rejected(self):
+        member = DCNetMember("a", ["a", "b"], FRAME)
+        member.prepare_shares(None, random.Random(0))
+        with pytest.raises(ValueError):
+            member.receive_shares({"b": b"short"})
+
+
+class TestRunRound:
+    def test_single_sender_message_recovered_by_others(self):
+        group = ["a", "b", "c", "d", "e"]
+        message = framed(b"anonymous transaction")
+        result = run_round(group, {"c": message}, FRAME, random.Random(1))
+        for member in group:
+            if member != "c":
+                assert result.recovered_by(member) == message
+        # The sender recovers the XOR of the *others'* messages, i.e. zero.
+        assert result.recovered_by("c") == zero_bytes(FRAME)
+
+    def test_no_sender_recovers_zero_everywhere(self):
+        group = ["a", "b", "c"]
+        result = run_round(group, {}, FRAME, random.Random(2))
+        for member in group:
+            assert result.recovered_by(member) == zero_bytes(FRAME)
+        assert not result.anyone_sent
+
+    def test_two_senders_collide_into_xor(self):
+        group = ["a", "b", "c", "d"]
+        m1, m2 = framed(b"first"), framed(b"second")
+        result = run_round(group, {"a": m1, "b": m2}, FRAME, random.Random(3))
+        # A member that sent nothing recovers the XOR of both messages.
+        assert result.recovered_by("c") == xor_bytes(m1, m2)
+
+    def test_message_count_is_three_k_times_k_minus_one(self):
+        group = list(range(6))
+        result = run_round(group, {}, FRAME, random.Random(4))
+        assert result.messages_sent == expected_messages(6) == 3 * 6 * 5
+
+    def test_per_member_message_count(self):
+        group = list(range(5))
+        result = run_round(group, {}, FRAME, random.Random(5))
+        for member in group:
+            assert result.messages_per_member[member] == 3 * 4
+
+    def test_senders_ground_truth(self):
+        group = ["a", "b", "c"]
+        result = run_round(group, {"b": framed(b"m")}, FRAME, random.Random(6))
+        assert result.senders == ["b"]
+
+    def test_non_member_sender_rejected(self):
+        with pytest.raises(ValueError):
+            run_round(["a", "b"], {"z": framed(b"m")}, FRAME, random.Random(0))
+
+    def test_group_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            run_round(["a"], {}, FRAME, random.Random(0))
+
+    def test_expected_messages_invalid_group(self):
+        with pytest.raises(ValueError):
+            expected_messages(1)
+
+    def test_tampered_shares_disrupt_recovery(self):
+        group = ["a", "b", "c", "d"]
+        message = framed(b"legitimate")
+        garbage = bytes([0xAB] * FRAME)
+        result = run_round(
+            group,
+            {"a": message},
+            FRAME,
+            random.Random(7),
+            tampered_shares={"d": garbage},
+        )
+        # With a disruptor replacing its shares, honest receivers no longer
+        # recover the original message.
+        assert result.recovered_by("b") != message
+
+    def test_tampered_share_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            run_round(
+                ["a", "b"],
+                {},
+                FRAME,
+                random.Random(0),
+                tampered_shares={"a": b"short"},
+            )
+
+    def test_anonymity_shares_alone_do_not_identify_sender(self):
+        # Every member transmits the same number of uniformly random-looking
+        # shares whether or not it is the sender: the traffic pattern is
+        # sender-independent, which is the observable a passive attacker gets.
+        group = ["a", "b", "c", "d"]
+        result = run_round(group, {"a": framed(b"msg")}, FRAME, random.Random(8))
+        counts = set(result.messages_per_member.values())
+        assert len(counts) == 1

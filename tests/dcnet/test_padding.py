@@ -1,0 +1,44 @@
+"""Tests for DC-net payload padding."""
+
+import pytest
+
+from repro.dcnet.padding import pad_message, padded_length, unpad_message
+
+
+class TestPadding:
+    def test_roundtrip(self):
+        frame = pad_message(b"hello", 32)
+        assert len(frame) == 32
+        assert unpad_message(frame) == b"hello"
+
+    def test_roundtrip_payload_ending_in_zero_bytes(self):
+        payload = b"data\x00\x00"
+        assert unpad_message(pad_message(payload, 32)) == payload
+
+    def test_empty_payload(self):
+        assert unpad_message(pad_message(b"", 16)) == b""
+
+    def test_exact_fit(self):
+        payload = b"x" * 12
+        frame = pad_message(payload, 16)
+        assert unpad_message(frame) == payload
+
+    def test_too_long_payload_rejected(self):
+        with pytest.raises(ValueError):
+            pad_message(b"x" * 13, 16)
+
+    def test_padded_length(self):
+        assert padded_length(10) == 14
+
+    def test_padded_length_negative_rejected(self):
+        with pytest.raises(ValueError):
+            padded_length(-1)
+
+    def test_unpad_too_short_frame_rejected(self):
+        with pytest.raises(ValueError):
+            unpad_message(b"ab")
+
+    def test_unpad_inconsistent_prefix_rejected(self):
+        frame = (100).to_bytes(4, "big") + b"short"
+        with pytest.raises(ValueError):
+            unpad_message(frame)

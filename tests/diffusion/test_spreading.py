@@ -1,0 +1,50 @@
+"""Tests for the per-node infection bookkeeping."""
+
+from repro.diffusion.spreading import InfectionState
+
+
+class TestInfectionState:
+    def test_first_reception_sets_parent_and_time(self):
+        state = InfectionState(payload_id="tx")
+        assert state.note_received("a", 3.5)
+        assert state.parent == "a"
+        assert state.delivered_at == 3.5
+
+    def test_duplicate_reception_does_not_change_parent(self):
+        state = InfectionState(payload_id="tx")
+        state.note_received("a", 1.0)
+        assert not state.note_received("b", 2.0)
+        assert state.parent == "a"
+        assert state.delivered_at == 1.0
+        assert state.received_from == {"a", "b"}
+
+    def test_origin_has_no_parent(self):
+        state = InfectionState(payload_id="tx")
+        assert state.note_received(None, 0.0)
+        assert state.parent is None
+
+    def test_add_children_deduplicates(self):
+        state = InfectionState(payload_id="tx")
+        state.add_children(["a", "b"])
+        state.add_children(["b", "c"])
+        assert state.children == ["a", "b", "c"]
+
+    def test_wave_processing_is_idempotent(self):
+        state = InfectionState(payload_id="tx")
+        assert not state.already_processed(1)
+        assert state.already_processed(1)
+        assert not state.already_processed(2)
+
+    def test_spread_targets_exclude_parent_children_and_sources(self):
+        state = InfectionState(payload_id="tx")
+        state.note_received("parent", 1.0)
+        state.note_received("dup", 2.0)
+        state.add_children(["child"])
+        targets = state.spread_targets(
+            ["parent", "dup", "child", "fresh1", "fresh2"], exclude="fresh2"
+        )
+        assert targets == ["fresh1"]
+
+    def test_spread_targets_all_fresh(self):
+        state = InfectionState(payload_id="tx")
+        assert state.spread_targets(["a", "b"]) == ["a", "b"]

@@ -1,0 +1,73 @@
+"""Tests for the virtual-source token and the alpha probability."""
+
+import pytest
+
+from repro.diffusion.virtual_source import (
+    VirtualSourceToken,
+    keep_probability,
+    transfer_probability,
+)
+
+
+class TestKeepProbability:
+    def test_is_a_probability(self):
+        for degree in [2, 3, 4, 8]:
+            for t in range(2, 21, 2):
+                for h in range(1, t // 2 + 1):
+                    p = keep_probability(t, h, degree)
+                    assert 0.0 <= p <= 1.0
+
+    def test_line_graph_formula(self):
+        # d=2: alpha(t, h) = (t - 2h + 2) / (t + 2)
+        assert keep_probability(4, 1, 2) == pytest.approx(4 / 6)
+        assert keep_probability(4, 2, 2) == pytest.approx(2 / 6)
+
+    def test_regular_tree_formula(self):
+        # d=3, t=4, h=1: ((2)^(2) - 1) / ((2)^(3) - 1) = 3/7
+        assert keep_probability(4, 1, 3) == pytest.approx(3 / 7)
+
+    def test_monotone_in_h(self):
+        # The farther the token already travelled, the more likely it keeps
+        # moving (keep probability decreases with h).
+        values = [keep_probability(10, h, 4) for h in range(1, 6)]
+        assert values == sorted(values, reverse=True)
+
+    def test_transfer_is_complement(self):
+        assert transfer_probability(6, 2, 3) == pytest.approx(
+            1 - keep_probability(6, 2, 3)
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            keep_probability(3, 1, 3)  # odd t
+        with pytest.raises(ValueError):
+            keep_probability(0, 1, 3)
+        with pytest.raises(ValueError):
+            keep_probability(4, 0, 3)
+        with pytest.raises(ValueError):
+            keep_probability(4, 3, 3)  # h > t/2
+        with pytest.raises(ValueError):
+            keep_probability(4, 1, 1)  # degree < 2
+
+
+class TestVirtualSourceToken:
+    def test_advanced_increments_time_only(self):
+        token = VirtualSourceToken(payload_id="tx", t=4, h=2, previous="a")
+        advanced = token.advanced()
+        assert advanced.t == 6
+        assert advanced.h == 2
+        assert advanced.previous == "a"
+
+    def test_passed_to_increments_time_and_hops(self):
+        token = VirtualSourceToken(payload_id="tx", t=4, h=2, previous="a", path=["a"])
+        passed = token.passed_to("b", "current")
+        assert passed.t == 6
+        assert passed.h == 3
+        assert passed.previous == "current"
+        assert passed.path == ["a", "b"]
+
+    def test_original_token_unchanged(self):
+        token = VirtualSourceToken(payload_id="tx", t=2, h=1)
+        token.passed_to("b", "a")
+        token.advanced()
+        assert token.t == 2 and token.h == 1

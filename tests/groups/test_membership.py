@@ -1,0 +1,102 @@
+"""Tests for group join/leave/split management."""
+
+import random
+
+import pytest
+
+from repro.groups.membership import Group, GroupManager
+
+
+class TestGroup:
+    def test_size_and_limits(self):
+        group = Group(group_id=1, members=["a", "b", "c"], min_size=3)
+        assert group.size == 3
+        assert group.max_size == 5
+        assert group.provides_privacy
+
+    def test_below_minimum_flagged(self):
+        group = Group(group_id=1, members=["a"], min_size=3)
+        assert not group.provides_privacy
+
+    def test_members_deduplicated_and_sorted(self):
+        group = Group(group_id=1, members=["b", "a", "b"], min_size=2)
+        assert group.members == ["a", "b"]
+        assert group.contains("a")
+        assert not group.contains("z")
+
+
+class TestGroupManager:
+    def test_minimum_size_validated(self):
+        with pytest.raises(ValueError):
+            GroupManager(1)
+
+    def test_join_creates_first_group(self):
+        manager = GroupManager(3, random.Random(0))
+        group = manager.join("a")
+        assert group.contains("a")
+        assert manager.group_of("a") is group
+
+    def test_double_join_rejected(self):
+        manager = GroupManager(3, random.Random(0))
+        manager.join("a")
+        with pytest.raises(ValueError):
+            manager.join("a")
+
+    def test_group_splits_at_2k(self):
+        manager = GroupManager(3, random.Random(0))
+        for node in range(6):
+            manager.join(node)
+        sizes = sorted(group.size for group in manager.groups)
+        assert sizes == [3, 3]
+
+    def test_sizes_stay_in_k_to_2k_minus_1(self):
+        manager = GroupManager(4, random.Random(1))
+        manager.assign_population(list(range(100)))
+        for group in manager.groups:
+            assert 4 <= group.size <= 7
+
+    def test_every_node_in_exactly_one_group(self):
+        manager = GroupManager(4, random.Random(2))
+        manager.assign_population(list(range(50)))
+        seen = [m for group in manager.groups for m in group.members]
+        assert sorted(seen) == list(range(50))
+
+    def test_leave_unknown_node_rejected(self):
+        manager = GroupManager(3, random.Random(0))
+        with pytest.raises(ValueError):
+            manager.leave("ghost")
+
+    def test_leave_last_node_removes_group(self):
+        manager = GroupManager(3, random.Random(0))
+        manager.join("a")
+        assert manager.leave("a") is None
+        assert manager.groups == []
+
+    def test_leave_triggers_merge_when_too_small(self):
+        manager = GroupManager(3, random.Random(3))
+        manager.assign_population(list(range(12)))
+        # Remove members until some group drops below k and gets merged.
+        for node in range(5):
+            if manager.group_of(node) is not None:
+                manager.leave(node)
+        remaining = [m for group in manager.groups for m in group.members]
+        assert sorted(remaining) == list(range(5, 12))
+        for group in manager.groups:
+            assert group.size >= 3
+
+    def test_all_groups_private_reports_small_population(self):
+        manager = GroupManager(5, random.Random(0))
+        manager.join("only")
+        assert not manager.all_groups_private()
+
+    def test_nodes_listing(self):
+        manager = GroupManager(3, random.Random(0))
+        manager.assign_population(["x", "y", "z"])
+        assert manager.nodes() == ["x", "y", "z"]
+
+    def test_assignment_is_seed_dependent_but_valid(self):
+        a = GroupManager(3, random.Random(10))
+        b = GroupManager(3, random.Random(11))
+        a.assign_population(list(range(30)))
+        b.assign_population(list(range(30)))
+        assert a.all_groups_private() and b.all_groups_private()

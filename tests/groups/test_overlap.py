@@ -1,0 +1,92 @@
+"""Tests for overlapping-group probability analysis."""
+
+import random
+
+import pytest
+
+from repro.groups.overlap import (
+    origin_probabilities,
+    smooth_group_assignment,
+    uniformity_error,
+)
+
+
+class TestOriginProbabilities:
+    def test_paper_example_half_instead_of_third(self):
+        # Group 0 = {A, B, C}; B and C also belong to group 1. A message seen
+        # in group 0 has probability 1/2 of coming from A (paper, IV-C).
+        groups = [["A", "B", "C"], ["B", "C", "D"]]
+        posterior = origin_probabilities(groups, observed_group=0)
+        assert posterior["A"] == pytest.approx(0.5)
+        assert posterior["B"] == pytest.approx(0.25)
+        assert posterior["C"] == pytest.approx(0.25)
+
+    def test_disjoint_groups_are_uniform(self):
+        groups = [["A", "B", "C"], ["D", "E", "F"]]
+        posterior = origin_probabilities(groups, observed_group=0)
+        assert all(p == pytest.approx(1 / 3) for p in posterior.values())
+
+    def test_probabilities_sum_to_one(self):
+        groups = [["A", "B", "C", "D"], ["B", "D", "E"], ["A", "E", "F"]]
+        posterior = origin_probabilities(groups, observed_group=1)
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+    def test_out_of_range_group_rejected(self):
+        with pytest.raises(IndexError):
+            origin_probabilities([["A"]], observed_group=5)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            origin_probabilities([[]], observed_group=0)
+
+
+class TestUniformityError:
+    def test_zero_for_uniform(self):
+        assert uniformity_error({"a": 0.5, "b": 0.5}) == pytest.approx(0.0)
+
+    def test_paper_example_error(self):
+        groups = [["A", "B", "C"], ["B", "C", "D"]]
+        posterior = origin_probabilities(groups, observed_group=0)
+        assert uniformity_error(posterior) == pytest.approx(1 / 2 - 1 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            uniformity_error({})
+
+
+class TestSmoothAssignment:
+    def test_every_node_in_exactly_requested_number_of_groups(self):
+        nodes = list(range(12))
+        groups = smooth_group_assignment(nodes, group_size=4, groups_per_node=2,
+                                         rng=random.Random(0))
+        counts = {node: 0 for node in nodes}
+        for group in groups:
+            for member in group:
+                counts[member] += 1
+        assert all(count == 2 for count in counts.values())
+
+    def test_all_groups_have_requested_size(self):
+        groups = smooth_group_assignment(
+            list(range(20)), group_size=5, groups_per_node=3, rng=random.Random(1)
+        )
+        assert all(len(group) == 5 for group in groups)
+        assert all(len(set(group)) == 5 for group in groups)
+
+    def test_smoothed_assignment_restores_uniformity(self):
+        groups = smooth_group_assignment(
+            list(range(12)), group_size=4, groups_per_node=2, rng=random.Random(2)
+        )
+        for index in range(len(groups)):
+            posterior = origin_probabilities(groups, observed_group=index)
+            assert uniformity_error(posterior) == pytest.approx(0.0)
+
+    def test_invalid_parameters_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            smooth_group_assignment(list(range(10)), 1, 1, rng)
+        with pytest.raises(ValueError):
+            smooth_group_assignment(list(range(10)), 4, 0, rng)
+        with pytest.raises(ValueError):
+            smooth_group_assignment(list(range(3)), 4, 1, rng)
+        with pytest.raises(ValueError):
+            smooth_group_assignment(list(range(10)), 4, 1, rng)  # 10 % 4 != 0

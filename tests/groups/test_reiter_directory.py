@@ -1,0 +1,95 @@
+"""Tests for the Reiter-style membership protocol and the group directory."""
+
+import random
+
+import pytest
+
+from repro.groups.directory import GroupDirectory
+from repro.groups.reiter import ReiterGroupMembership
+
+
+class TestReiterMembership:
+    def test_manager_must_be_member(self):
+        with pytest.raises(ValueError):
+            ReiterGroupMembership("m", ["a", "b"])
+
+    def test_honest_join_installs_new_view(self):
+        group = ReiterGroupMembership("m", ["m", "a", "b"])
+        assert group.propose_join("c")
+        assert "c" in group.members
+        assert group.view_number == 1
+
+    def test_honest_leave_installs_new_view(self):
+        group = ReiterGroupMembership("m", ["m", "a", "b", "c"])
+        assert group.propose_leave("c")
+        assert "c" not in group.members
+
+    def test_duplicate_join_rejected(self):
+        group = ReiterGroupMembership("m", ["m", "a"])
+        with pytest.raises(ValueError):
+            group.propose_join("a")
+
+    def test_leaving_non_member_rejected(self):
+        group = ReiterGroupMembership("m", ["m", "a"])
+        with pytest.raises(ValueError):
+            group.propose_leave("z")
+
+    def test_manager_cannot_leave(self):
+        group = ReiterGroupMembership("m", ["m", "a"])
+        with pytest.raises(ValueError):
+            group.propose_leave("m")
+
+    def test_minority_of_faulty_members_cannot_block(self):
+        faulty = {"f1"}
+        group = ReiterGroupMembership(
+            "m",
+            ["m", "a", "b", "f1"],
+            vote=lambda member, event: member not in faulty,
+        )
+        assert group.fault_tolerance() == 1
+        assert group.propose_join("c")
+
+    def test_more_than_a_third_faulty_blocks_changes(self):
+        faulty = {"f1", "f2"}
+        group = ReiterGroupMembership(
+            "m",
+            ["m", "a", "f1", "f2"],
+            vote=lambda member, event: member not in faulty,
+        )
+        assert not group.propose_join("c")
+        assert "c" not in group.members
+        assert len(group.rejected_events) == 1
+
+    def test_history_records_views(self):
+        group = ReiterGroupMembership("m", ["m", "a", "b"])
+        group.propose_join("c")
+        group.propose_leave("a")
+        assert len(group.history) == 3
+        assert group.history[0] == ["a", "b", "m"]
+
+
+class TestGroupDirectory:
+    def test_population_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            GroupDirectory([1, 2], min_size=5)
+
+    def test_every_node_assigned(self):
+        directory = GroupDirectory(list(range(40)), min_size=4, rng=random.Random(0))
+        for node in range(40):
+            assert node in directory.members_of(node)
+
+    def test_group_sizes_within_bounds(self):
+        directory = GroupDirectory(list(range(53)), min_size=4, rng=random.Random(1))
+        for size in directory.group_sizes():
+            assert 4 <= size <= 7
+        assert directory.all_groups_private()
+
+    def test_unknown_node_rejected(self):
+        directory = GroupDirectory(list(range(10)), min_size=3, rng=random.Random(2))
+        with pytest.raises(KeyError):
+            directory.group_of("ghost")
+
+    def test_members_of_is_consistent_with_group_of(self):
+        directory = GroupDirectory(list(range(20)), min_size=3, rng=random.Random(3))
+        for node in range(20):
+            assert directory.members_of(node) == directory.group_of(node).members

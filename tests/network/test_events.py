@@ -1,0 +1,68 @@
+"""Tests for the deterministic event queue."""
+
+import pytest
+
+from repro.network.events import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("late"))
+        queue.push(1.0, lambda: fired.append("early"))
+        while queue:
+            queue.pop().action()
+        assert fired == ["early", "late"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, lambda: fired.append("first"))
+        queue.push(1.0, lambda: fired.append("second"))
+        while queue:
+            queue.pop().action()
+        assert fired == ["first", "second"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append("cancelled"))
+        queue.push(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        while queue:
+            popped = queue.pop()
+            if popped is None:
+                break
+            popped.action()
+        assert fired == ["kept"]
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        assert queue.peek_time() == 3.0
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(4.0, lambda: None)
+        event.cancel()
+        assert queue.peek_time() == 4.0
+
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert not queue
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(-1.0, lambda: None)
+
+    def test_len(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2

@@ -1,0 +1,269 @@
+"""Tests for the discrete-event simulator, nodes, messages and metrics."""
+
+import networkx as nx
+import pytest
+
+from repro.network.latency import ConstantLatency
+from repro.network.message import Message
+from repro.network.node import Node
+from repro.network.simulator import Simulator
+
+
+class EchoNode(Node):
+    """Records everything it receives; used to probe the simulator."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append((self.now, sender, message))
+
+
+class FloodOnceNode(Node):
+    """Minimal flooding behaviour used for end-to-end simulator tests."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.seen = set()
+
+    def originate(self, payload_id):
+        self.seen.add(payload_id)
+        self.mark_delivered(payload_id)
+        for peer in self.neighbours:
+            self.send(peer, Message(kind="flood", payload_id=payload_id))
+
+    def on_message(self, sender, message):
+        if message.payload_id in self.seen:
+            return
+        self.seen.add(message.payload_id)
+        self.mark_delivered(message.payload_id)
+        for peer in self.neighbours:
+            if peer != sender:
+                self.send(peer, message.copy_for_forwarding())
+
+
+def build_sim(graph=None, node_cls=EchoNode, seed=0):
+    sim = Simulator(graph if graph is not None else nx.path_graph(4), seed=seed)
+    sim.populate(node_cls)
+    return sim
+
+
+class TestSimulatorBasics:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(nx.Graph())
+
+    def test_populate_registers_all_nodes(self):
+        sim = build_sim()
+        assert set(sim.nodes) == {0, 1, 2, 3}
+
+    def test_duplicate_registration_rejected(self):
+        sim = build_sim()
+        with pytest.raises(ValueError):
+            sim.add_node(EchoNode(0))
+
+    def test_unknown_vertex_rejected(self):
+        sim = build_sim()
+        with pytest.raises(ValueError):
+            sim.add_node(EchoNode(99))
+
+    def test_neighbours_are_sorted_and_cached(self):
+        sim = build_sim()
+        assert sim.neighbours_of(1) == [0, 2]
+        assert sim.node(1).neighbours == [0, 2]
+
+    def test_unattached_node_raises(self):
+        node = EchoNode(0)
+        with pytest.raises(RuntimeError):
+            _ = node.simulator
+
+
+class TestDelivery:
+    def test_message_delivered_after_latency(self):
+        sim = Simulator(nx.path_graph(2), latency=ConstantLatency(2.5), seed=0)
+        sim.populate(EchoNode)
+        sim.node(0).send(1, Message(kind="test", payload_id="tx"))
+        sim.run_until_idle()
+        assert len(sim.node(1).received) == 1
+        time, sender, _ = sim.node(1).received[0]
+        assert time == 2.5
+        assert sender == 0
+
+    def test_non_neighbour_overlay_send_rejected(self):
+        sim = build_sim(nx.path_graph(4))
+        with pytest.raises(ValueError):
+            sim.node(0).send(3, Message(kind="test", payload_id="tx"))
+
+    def test_direct_send_bypasses_overlay(self):
+        sim = build_sim(nx.path_graph(4))
+        sim.node(0).send_direct(3, Message(kind="dc", payload_id="tx"))
+        sim.run_until_idle()
+        assert len(sim.node(3).received) == 1
+
+    def test_unknown_receiver_rejected(self):
+        sim = build_sim()
+        with pytest.raises(ValueError):
+            sim.send(0, 42, Message(kind="x", payload_id="tx"))
+
+    def test_observations_record_direct_flag(self):
+        sim = build_sim()
+        sim.node(0).send(1, Message(kind="a", payload_id="tx"))
+        sim.node(0).send_direct(2, Message(kind="b", payload_id="tx"))
+        sim.run_until_idle()
+        flags = {obs.message.kind: obs.direct for obs in sim.observations}
+        assert flags == {"a": False, "b": True}
+
+
+class TestScheduling:
+    def test_scheduled_action_runs_at_time(self):
+        sim = build_sim()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run_until_idle()
+        assert fired == [5.0]
+
+    def test_negative_delay_rejected(self):
+        sim = build_sim()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until_limit(self):
+        sim = build_sim()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_run_max_events(self):
+        sim = build_sim()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_on_start_called_once(self):
+        class StartCounting(EchoNode):
+            starts = 0
+
+            def on_start(self):
+                StartCounting.starts += 1
+
+        sim = Simulator(nx.path_graph(3), seed=0)
+        sim.populate(StartCounting)
+        sim.run_until_idle()
+        sim.run_until_idle()
+        assert StartCounting.starts == 3
+
+
+class TestEndToEndFlood:
+    def test_flood_reaches_every_node(self):
+        graph = nx.random_regular_graph(4, 30, seed=1)
+        sim = Simulator(graph, seed=0)
+        sim.populate(FloodOnceNode)
+        sim.node(0).originate("tx-1")
+        sim.run_until_idle()
+        assert sim.metrics.reach("tx-1") == 30
+        assert sim.delivered_fraction("tx-1") == 1.0
+        assert sim.undelivered_nodes("tx-1") == []
+
+    def test_flood_message_count_bounded_by_twice_edges(self):
+        graph = nx.random_regular_graph(4, 30, seed=1)
+        sim = Simulator(graph, seed=0)
+        sim.populate(FloodOnceNode)
+        sim.node(0).originate("tx-1")
+        sim.run_until_idle()
+        assert sim.metrics.message_count() <= 2 * graph.number_of_edges()
+        assert sim.metrics.message_count() >= graph.number_of_nodes() - 1
+
+    def test_metrics_first_observations(self):
+        graph = nx.path_graph(5)
+        sim = Simulator(graph, seed=0)
+        sim.populate(FloodOnceNode)
+        sim.node(2).originate("tx")
+        sim.run_until_idle()
+        first = sim.metrics.first_observations("tx")
+        # Node 2 originated, so it never *receives* the payload.
+        assert set(first) == {0, 1, 3, 4}
+        assert first[1].sender == 2
+        assert first[0].sender == 1
+
+    def test_observations_for_observer_subset(self):
+        graph = nx.path_graph(5)
+        sim = Simulator(graph, seed=0)
+        sim.populate(FloodOnceNode)
+        sim.node(0).originate("tx")
+        sim.run_until_idle()
+        visible = sim.observations_for([4])
+        assert all(obs.receiver == 4 for obs in visible)
+        assert len(visible) == 1
+
+
+class TestMetricsQueries:
+    def test_message_count_filters(self):
+        sim = build_sim()
+        sim.node(0).send(1, Message(kind="a", payload_id="t1"))
+        sim.node(1).send(2, Message(kind="b", payload_id="t1"))
+        sim.node(2).send(3, Message(kind="a", payload_id="t2"))
+        sim.run_until_idle()
+        assert sim.metrics.message_count() == 3
+        assert sim.metrics.message_count(kind="a") == 2
+        assert sim.metrics.message_count(payload_id="t1") == 2
+        assert sim.metrics.message_count(kind="a", payload_id="t2") == 1
+
+    def test_bytes_sent(self):
+        sim = build_sim()
+        sim.node(0).send(1, Message(kind="a", payload_id="t", size_bytes=100))
+        sim.node(1).send(2, Message(kind="a", payload_id="t", size_bytes=50))
+        sim.run_until_idle()
+        assert sim.metrics.bytes_sent() == 150
+
+    def test_delivery_and_completion_time(self):
+        graph = nx.path_graph(4)
+        sim = Simulator(graph, latency=ConstantLatency(1.0), seed=0)
+        sim.populate(FloodOnceNode)
+        sim.node(0).originate("tx")
+        sim.run_until_idle()
+        assert sim.metrics.delivery_time(0, "tx") == 0.0
+        assert sim.metrics.delivery_time(3, "tx") == 3.0
+        assert sim.metrics.completion_time("tx") == 3.0
+        assert sim.metrics.delivery_time(3, "unknown") is None
+        assert sim.metrics.completion_time("unknown") is None
+
+    def test_delivered_nodes_in_order(self):
+        graph = nx.path_graph(4)
+        sim = Simulator(graph, latency=ConstantLatency(1.0), seed=0)
+        sim.populate(FloodOnceNode)
+        sim.node(0).originate("tx")
+        sim.run_until_idle()
+        assert sim.metrics.delivered_nodes("tx") == [0, 1, 2, 3]
+
+    def test_summary_keys(self):
+        sim = build_sim()
+        summary = sim.metrics.summary()
+        assert set(summary) == {"messages", "bytes", "payloads", "deliveries"}
+
+    def test_kinds_breakdown(self):
+        sim = build_sim()
+        sim.node(0).send(1, Message(kind="a", payload_id="t"))
+        sim.node(1).send(2, Message(kind="a", payload_id="t"))
+        sim.node(2).send(3, Message(kind="b", payload_id="t"))
+        sim.run_until_idle()
+        assert sim.metrics.kinds() == {"a": 2, "b": 1}
+
+
+class TestMessage:
+    def test_copy_for_forwarding_gets_new_uid(self):
+        msg = Message(kind="flood", payload_id="tx", body={"hops": 1})
+        copy = msg.copy_for_forwarding()
+        assert copy.uid != msg.uid
+        assert copy.body == msg.body
+        assert copy.body is not msg.body
+
+    def test_unimplemented_on_message(self):
+        node = Node("x")
+        with pytest.raises(NotImplementedError):
+            node.on_message(None, Message(kind="a", payload_id="t"))

@@ -1,0 +1,112 @@
+"""Tests for overlay topology generators."""
+
+import networkx as nx
+import pytest
+
+from repro.network.topology import (
+    barabasi_albert_overlay,
+    bitcoin_like_overlay,
+    complete_overlay,
+    erdos_renyi_overlay,
+    line_overlay,
+    random_regular_overlay,
+    regular_tree_overlay,
+    watts_strogatz_overlay,
+)
+
+
+class TestRandomRegular:
+    def test_size_and_degree(self):
+        graph = random_regular_overlay(100, degree=8, seed=0)
+        assert graph.number_of_nodes() == 100
+        assert all(degree == 8 for _, degree in graph.degree())
+
+    def test_connected(self):
+        assert nx.is_connected(random_regular_overlay(50, degree=4, seed=1))
+
+    def test_seed_reproducibility(self):
+        a = random_regular_overlay(60, degree=6, seed=42)
+        b = random_regular_overlay(60, degree=6, seed=42)
+        assert set(a.edges) == set(b.edges)
+
+    def test_odd_degree_sum_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_overlay(9, degree=3)
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_overlay(4, degree=8)
+
+
+class TestErdosRenyi:
+    def test_connected(self):
+        assert nx.is_connected(erdos_renyi_overlay(200, avg_degree=8, seed=0))
+
+    def test_average_degree_roughly_matches(self):
+        graph = erdos_renyi_overlay(500, avg_degree=10, seed=1)
+        avg = 2 * graph.number_of_edges() / graph.number_of_nodes()
+        assert 7 <= avg <= 13
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_overlay(1)
+
+
+class TestOtherTopologies:
+    def test_barabasi_albert_connected(self):
+        assert nx.is_connected(barabasi_albert_overlay(100, attachments=3, seed=0))
+
+    def test_watts_strogatz_connected(self):
+        assert nx.is_connected(watts_strogatz_overlay(100, neighbours=6, seed=0))
+
+    def test_line_is_a_path(self):
+        graph = line_overlay(10)
+        assert graph.number_of_edges() == 9
+        degrees = sorted(degree for _, degree in graph.degree())
+        assert degrees == [1, 1] + [2] * 8
+
+    def test_regular_tree_structure(self):
+        graph = regular_tree_overlay(branching=3, depth=3)
+        assert nx.is_tree(graph)
+        # 1 + 3 + 9 + 27 nodes for branching 3, depth 3
+        assert graph.number_of_nodes() == 40
+
+    def test_regular_tree_invalid_params(self):
+        with pytest.raises(ValueError):
+            regular_tree_overlay(branching=1, depth=3)
+        with pytest.raises(ValueError):
+            regular_tree_overlay(branching=3, depth=0)
+
+    def test_complete_overlay(self):
+        graph = complete_overlay(6)
+        assert graph.number_of_edges() == 15
+
+    def test_line_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            line_overlay(1)
+
+
+class TestBitcoinLike:
+    def test_sizes_and_attributes(self):
+        graph = bitcoin_like_overlay(50, 20, outgoing=4, seed=0)
+        assert graph.number_of_nodes() == 70
+        reachable = [n for n, data in graph.nodes(data=True) if data["reachable"]]
+        unreachable = [
+            n for n, data in graph.nodes(data=True) if not data["reachable"]
+        ]
+        assert len(reachable) == 50
+        assert len(unreachable) == 20
+
+    def test_unreachable_nodes_have_exactly_outgoing_links(self):
+        graph = bitcoin_like_overlay(50, 20, outgoing=4, seed=1)
+        for node, data in graph.nodes(data=True):
+            if not data["reachable"]:
+                assert graph.degree(node) == 4
+
+    def test_unreachable_nodes_not_interconnected(self):
+        graph = bitcoin_like_overlay(40, 30, outgoing=3, seed=2)
+        for u, v in graph.edges:
+            assert graph.nodes[u]["reachable"] or graph.nodes[v]["reachable"]
+
+    def test_connected(self):
+        assert nx.is_connected(bitcoin_like_overlay(30, 10, outgoing=3, seed=3))

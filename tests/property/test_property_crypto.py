@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the crypto and framing substrates."""
+
+import binascii
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.crc import append_crc, crc32, verify_crc
+from repro.crypto.hashing import HASH_SPACE, hash_distance, hash_to_int
+from repro.crypto.pads import combine_shares, split_into_shares, xor_bytes
+from repro.dcnet.collision import decode_payload, encode_payload
+from repro.dcnet.padding import pad_message, unpad_message
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.binary(min_size=0, max_size=300))
+def test_crc_matches_reference(data):
+    assert crc32(data) == binascii.crc32(data)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.binary(min_size=0, max_size=200))
+def test_crc_framing_roundtrip(data):
+    assert verify_crc(append_crc(data))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.binary(min_size=1, max_size=128),
+    flip=st.integers(min_value=0),
+)
+def test_crc_detects_any_single_byte_corruption(data, flip):
+    framed = bytearray(append_crc(data))
+    index = flip % len(framed)
+    framed[index] ^= 0xFF
+    assert not verify_crc(bytes(framed))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    message=st.binary(min_size=0, max_size=128),
+    count=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_share_splitting_always_recombines(message, count, seed):
+    shares = split_into_shares(message, count, random.Random(seed))
+    assert len(shares) == count
+    assert combine_shares(shares) == message
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=st.binary(min_size=16, max_size=16),
+    b=st.binary(min_size=16, max_size=16),
+    c=st.binary(min_size=16, max_size=16),
+)
+def test_xor_is_commutative_associative_and_self_inverse(a, b, c):
+    assert xor_bytes(a, b) == xor_bytes(b, a)
+    assert xor_bytes(xor_bytes(a, b), c) == xor_bytes(a, xor_bytes(b, c))
+    assert xor_bytes(xor_bytes(a, b), b) == a
+
+
+@settings(max_examples=60, deadline=None)
+@given(x=st.binary(min_size=0, max_size=64), y=st.binary(min_size=0, max_size=64))
+def test_hash_distance_is_a_metric_on_the_ring(x, y):
+    hx, hy = hash_to_int(x), hash_to_int(y)
+    distance = hash_distance(hx, hy)
+    assert 0 <= distance <= HASH_SPACE // 2
+    assert hash_distance(hx, hx) == 0
+    assert distance == hash_distance(hy, hx)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    payload=st.binary(min_size=0, max_size=100),
+    extra=st.integers(min_value=0, max_value=64),
+)
+def test_padding_roundtrip_for_any_fitting_frame(payload, extra):
+    frame_length = len(payload) + 4 + extra
+    assert unpad_message(pad_message(payload, frame_length)) == payload
+
+
+@settings(max_examples=60, deadline=None)
+@given(payload=st.binary(min_size=0, max_size=100), extra=st.integers(min_value=1, max_value=64))
+def test_dcnet_frame_roundtrip(payload, extra):
+    frame_length = len(payload) + 8 + extra
+    frame = encode_payload(payload, frame_length)
+    assert len(frame) == frame_length
+    assert decode_payload(frame) == payload
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    first=st.binary(min_size=1, max_size=60),
+    second=st.binary(min_size=1, max_size=60),
+)
+def test_dcnet_collisions_are_detected(first, second):
+    frame_length = max(len(first), len(second)) + 16
+    a = encode_payload(first, frame_length)
+    b = encode_payload(second, frame_length)
+    collided = xor_bytes(a, b)
+    # Either the two frames were identical (same payload) or the collision is
+    # detected by the CRC.
+    if first != second:
+        assert decode_payload(collided) is None
