@@ -17,18 +17,30 @@ Biryukov et al. the paper cites).
   learn about the sender within their group.
 """
 
-from repro.adversary.botnet import BotnetDeployment, deploy_botnet
+from repro.adversary.botnet import (
+    BotnetDeployment,
+    deploy_botnet,
+    inject_supernodes,
+)
 from repro.adversary.collusion import group_collusion_posterior
 from repro.adversary.first_spy import FirstSpyEstimator
 from repro.adversary.observer import AdversaryView
-from repro.adversary.rumor_centrality import rumor_centrality, rumor_source_estimate
+from repro.adversary.rumor_centrality import (
+    infected_snapshot,
+    rumor_centrality,
+    rumor_source_estimate,
+    rumor_source_from_metrics,
+)
 
 __all__ = [
     "BotnetDeployment",
     "deploy_botnet",
+    "inject_supernodes",
     "group_collusion_posterior",
     "FirstSpyEstimator",
     "AdversaryView",
+    "infected_snapshot",
     "rumor_centrality",
     "rumor_source_estimate",
+    "rumor_source_from_metrics",
 ]

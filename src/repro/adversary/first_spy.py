@@ -8,6 +8,12 @@ compromised — the situation depicted in Fig. 2 of the paper — while
 statistical spreading mechanisms (Dandelion, adaptive diffusion) and the
 DC-net phase remove the correlation between "first relayer seen" and
 "originator".
+
+The estimator reads through an index-backed
+:class:`~repro.adversary.observer.AdversaryView`, so guessing the source of
+one payload costs O(traffic of that payload seen by spies) — it does not
+rescan the simulator's full send log, which matters when a sweep attacks
+hundreds of broadcasts on one simulator.
 """
 
 from __future__ import annotations

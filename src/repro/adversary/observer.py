@@ -3,8 +3,12 @@
 The adversary controls a set of observer nodes.  Everything those nodes
 receive — message, arrival time, previous hop, whether the message came over
 an overlay link or a direct (group) channel — is available for analysis;
-nothing else is.  :class:`AdversaryView` extracts exactly this slice from a
-finished simulation and offers the queries the estimators need.
+nothing else is.  :class:`AdversaryView` answers exactly those queries by
+reading the simulator's indexed
+:class:`~repro.network.observation_store.ObservationStore`: per-payload
+queries walk the smaller of the payload index and the observers' per-receiver
+index, so the cost is O(relevant traffic) rather than O(all traffic), which
+is what makes running the estimators inside large parameter sweeps cheap.
 """
 
 from __future__ import annotations
@@ -16,20 +20,24 @@ from repro.network.simulator import Simulator
 
 
 class AdversaryView:
-    """Read-only view of the observations available to a set of observers."""
+    """Read-only view of the observations available to a set of observers.
+
+    The view is live: it reads the simulator's observation store on every
+    query, so it can be constructed once and reused as a simulation
+    progresses.  All queries are scoped by payload and/or kind, which keeps
+    them index-backed.
+    """
 
     def __init__(
         self, simulator: Simulator, observers: Iterable[Hashable]
     ) -> None:
         self.observers: Set[Hashable] = set(observers)
-        self._observations: List[Observation] = simulator.observations_for(
-            self.observers
-        )
+        self._store = simulator.store
 
     @property
     def observations(self) -> List[Observation]:
         """All deliveries received by observer nodes, in delivery order."""
-        return list(self._observations)
+        return self._store.for_receivers(self.observers)
 
     def observations_of(
         self,
@@ -38,16 +46,12 @@ class AdversaryView:
         include_direct: bool = True,
     ) -> List[Observation]:
         """Observations concerning one payload, optionally filtered by kind."""
-        result = []
-        for obs in self._observations:
-            if obs.message.payload_id != payload_id:
-                continue
-            if kinds is not None and obs.message.kind not in kinds:
-                continue
-            if not include_direct and obs.direct:
-                continue
-            result.append(obs)
-        return result
+        result = self._store.for_receivers(
+            self.observers, payload_id=payload_id, kinds=kinds
+        )
+        if include_direct:
+            return result
+        return [obs for obs in result if not obs.direct]
 
     def first_observation(
         self,

@@ -19,9 +19,12 @@ the standard heuristic from the original paper.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional
 
 import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.network.metrics import MetricsCollector
 
 
 def _subtree_sizes(tree: nx.Graph, root: Hashable) -> Dict[Hashable, int]:
@@ -83,3 +86,36 @@ def rumor_source_estimate(
     best_score = max(score for score, _ in scored)
     winners = [candidate for score, candidate in scored if score == best_score]
     return sorted(winners, key=repr)[0]
+
+
+def infected_snapshot(
+    metrics: "MetricsCollector",
+    payload_id: Hashable,
+    at_time: Optional[float] = None,
+) -> List[Hashable]:
+    """The nodes holding the payload at ``at_time`` (default: end of run).
+
+    This is the input a snapshot adversary feeds to
+    :func:`rumor_source_estimate`.  It is served from the metrics collector's
+    per-payload delivery index, so taking a snapshot costs O(infected nodes)
+    rather than a scan over the whole send log.
+    """
+    if at_time is None:
+        return metrics.delivered_nodes(payload_id)
+    return [
+        node
+        for node in metrics.delivered_nodes(payload_id)
+        if metrics.delivery_time(node, payload_id) <= at_time
+    ]
+
+
+def rumor_source_from_metrics(
+    graph: nx.Graph,
+    metrics: "MetricsCollector",
+    payload_id: Hashable,
+    at_time: Optional[float] = None,
+) -> Optional[Hashable]:
+    """Run the snapshot estimator directly against a finished simulation."""
+    return rumor_source_estimate(
+        graph, infected_snapshot(metrics, payload_id, at_time)
+    )

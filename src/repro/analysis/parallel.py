@@ -1,0 +1,176 @@
+"""Parallel parameter sweeps over worker processes.
+
+``analysis.sweep`` runs every (value, repetition) pair serially, which is
+fine for the 100–1,000-node overlays of the original benchmarks but becomes
+the wall-clock bottleneck for the multi-thousand-node scale runs
+(``benchmarks/test_bench_e11_scale.py``).  :class:`ParallelSweep` fans the
+same runs out over a :mod:`multiprocessing` pool while keeping the exact
+``sweep()`` contract:
+
+* every run gets the seed :func:`repro.analysis.sweep.derive_seed` assigns —
+  derivation depends only on (value index, repetition), never on scheduling,
+* aggregation uses :func:`repro.analysis.sweep.aggregate_runs`, and
+* results are ordered by parameter value, repetition order inside a value.
+
+So ``run_parallel(values, runner, ...) == sweep(values, runner, ...)``
+seed-for-seed; the only difference is wall-clock time.
+
+Workers are started with the ``fork`` method and receive the runner through
+process inheritance, so runners may be closures or lambdas — nothing about
+the runner is pickled.  Task inputs (parameter value, seed) and the returned
+metric dictionaries do cross process boundaries and must be picklable, which
+every existing runner already satisfies.  The pool is only used on Linux
+(the one platform where fork-without-exec is dependable); on other platforms
+— or with ``processes=1`` — the engine transparently degrades to the serial
+path, producing identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.sweep import (
+    ParameterValue,
+    SweepRunner,
+    aggregate_runs,
+    derive_seed,
+)
+
+_Task = Tuple[int, ParameterValue, int]
+
+# Module-level slot the fork-started workers inherit; holding the runner here
+# (instead of sending it through the task queue) is what allows closures.
+_WORKER_RUNNER: Optional[SweepRunner] = None
+
+
+def _init_worker(runner: SweepRunner) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = runner
+
+
+def _execute_task(task: _Task) -> Tuple[int, Dict[str, float]]:
+    task_index, value, seed = task
+    assert _WORKER_RUNNER is not None
+    return task_index, _WORKER_RUNNER(value, seed)
+
+
+@dataclass
+class ParallelSweep:
+    """A reusable parallel sweep configuration.
+
+    Example:
+        >>> from repro.analysis import ParallelSweep, sweep
+        >>> runner = lambda value, seed: {"metric": float(value * 10)}
+        >>> engine = ParallelSweep(repetitions=2, base_seed=5)
+        >>> engine.run([1, 2], runner) == sweep([1, 2], runner,
+        ...                                     repetitions=2, base_seed=5)
+        True
+
+    Attributes:
+        repetitions: how many seeds per parameter value.
+        base_seed: base of the per-run seed derivation (identical to
+            ``sweep()``'s).
+        processes: worker process count; defaults to the machine's CPU count,
+            capped at the number of runs.  ``1`` forces the serial path.
+    """
+
+    repetitions: int = 3
+    base_seed: int = 0
+    processes: Optional[int] = None
+
+    def run(
+        self,
+        values: Sequence[ParameterValue],
+        runner: SweepRunner,
+    ) -> List[Dict[str, float]]:
+        """Run ``runner(value, seed)`` for every value and repetition.
+
+        Returns:
+            One aggregated dictionary per parameter value, equal to what
+            ``sweep(values, runner, self.repetitions, self.base_seed)``
+            returns for the same inputs.
+        """
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+        values = list(values)
+        if not values:
+            return []
+        tasks: List[_Task] = []
+        for value_index, value in enumerate(values):
+            for repetition in range(self.repetitions):
+                seed = derive_seed(
+                    value_index, repetition, self.repetitions, self.base_seed
+                )
+                tasks.append((len(tasks), value, seed))
+
+        runs = self._execute(tasks, runner)
+        results: List[Dict[str, float]] = []
+        for value_index, value in enumerate(values):
+            start = value_index * self.repetitions
+            results.append(
+                aggregate_runs(value, runs[start : start + self.repetitions])
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _worker_count(self, task_count: int) -> int:
+        requested = self.processes
+        if requested is None:
+            requested = os.cpu_count() or 1
+        return max(1, min(requested, task_count))
+
+    def _execute(
+        self, tasks: List[_Task], runner: SweepRunner
+    ) -> List[Dict[str, float]]:
+        workers = self._worker_count(len(tasks))
+        # Fork-without-exec is only reliable on Linux: macOS lists "fork" as
+        # available but forked children can crash inside system frameworks
+        # (which is why CPython made spawn the macOS default), and spawn
+        # would break closure runners.  Everywhere but Linux, degrade to the
+        # serial path — same results, just without the fan-out.
+        if (
+            workers == 1
+            or sys.platform != "linux"
+            or "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            return [runner(value, seed) for _, value, seed in tasks]
+        context = multiprocessing.get_context("fork")
+        with context.Pool(
+            processes=workers, initializer=_init_worker, initargs=(runner,)
+        ) as pool:
+            indexed = pool.map(_execute_task, tasks)
+        runs: List[Optional[Dict[str, float]]] = [None] * len(tasks)
+        for task_index, metrics in indexed:
+            runs[task_index] = metrics
+        assert all(run is not None for run in runs)
+        return runs  # type: ignore[return-value]
+
+
+def run_parallel(
+    values: Sequence[ParameterValue],
+    runner: SweepRunner,
+    repetitions: int = 3,
+    base_seed: int = 0,
+    processes: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Drop-in parallel replacement for :func:`repro.analysis.sweep.sweep`.
+
+    Args:
+        values: the parameter values to sweep over.
+        runner: callable returning a flat metric dictionary for one run.
+        repetitions: how many seeds per parameter value.
+        base_seed: base of the per-run seed derivation.
+        processes: worker processes (defaults to CPU count; ``1`` = serial).
+
+    Returns:
+        The same list of aggregated dictionaries ``sweep`` would return.
+    """
+    return ParallelSweep(
+        repetitions=repetitions, base_seed=base_seed, processes=processes
+    ).run(values, runner)

@@ -1,4 +1,9 @@
-"""Parameter sweeps with per-configuration repetitions."""
+"""Parameter sweeps with per-configuration repetitions.
+
+The seed-derivation and aggregation rules live in this module and are shared
+with :mod:`repro.analysis.parallel`, so a parallel sweep produces exactly the
+same numbers as a serial one for the same ``base_seed``.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +11,42 @@ from typing import Callable, Dict, List, Sequence, TypeVar
 
 ParameterValue = TypeVar("ParameterValue")
 
+SweepRunner = Callable[[ParameterValue, int], Dict[str, float]]
+
+
+def derive_seed(
+    value_index: int, repetition: int, repetitions: int, base_seed: int
+) -> int:
+    """The seed for one (parameter value, repetition) run of a sweep.
+
+    Seeds are ``base_seed`` plus a distinct offset per run, so sweeps are
+    reproducible, runs never share a seed, and the schedule is independent of
+    execution order — the property the parallel engine relies on.
+    """
+    return base_seed + value_index * repetitions + repetition
+
+
+def aggregate_runs(
+    value: ParameterValue, runs: Sequence[Dict[str, float]]
+) -> Dict[str, float]:
+    """Mean every metric over the repetitions of one parameter value.
+
+    Returns one flat dictionary per parameter value containing the mean of
+    every metric, plus ``"value"`` (when the parameter is numeric) and
+    ``"repetitions"`` entries.
+    """
+    aggregated: Dict[str, float] = {}
+    for key in runs[0]:
+        aggregated[key] = sum(run[key] for run in runs) / len(runs)
+    if isinstance(value, (int, float)):
+        aggregated.setdefault("value", float(value))
+    aggregated["repetitions"] = float(len(runs))
+    return aggregated
+
 
 def sweep(
     values: Sequence[ParameterValue],
-    runner: Callable[[ParameterValue, int], Dict[str, float]],
+    runner: SweepRunner,
     repetitions: int = 3,
     base_seed: int = 0,
 ) -> List[Dict[str, float]]:
@@ -20,26 +57,20 @@ def sweep(
         runner: callable returning a flat metric dictionary for one run.
         repetitions: how many seeds per parameter value.
         base_seed: seeds are ``base_seed + repetition_index`` offsets per
-            value, so sweeps are reproducible and non-overlapping.
+            value (see :func:`derive_seed`), so sweeps are reproducible and
+            non-overlapping.
 
     Returns:
-        One aggregated dictionary per parameter value containing the mean of
-        every metric over the repetitions, plus ``"value"`` (when numeric) and
-        ``"repetitions"`` entries.
+        One aggregated dictionary per parameter value (see
+        :func:`aggregate_runs`).
     """
     if repetitions < 1:
         raise ValueError("repetitions must be at least 1")
     results: List[Dict[str, float]] = []
     for index, value in enumerate(values):
         runs = [
-            runner(value, base_seed + index * repetitions + repetition)
+            runner(value, derive_seed(index, repetition, repetitions, base_seed))
             for repetition in range(repetitions)
         ]
-        aggregated: Dict[str, float] = {}
-        for key in runs[0]:
-            aggregated[key] = sum(run[key] for run in runs) / len(runs)
-        if isinstance(value, (int, float)):
-            aggregated.setdefault("value", float(value))
-        aggregated["repetitions"] = float(repetitions)
-        results.append(aggregated)
+        results.append(aggregate_runs(value, runs))
     return results

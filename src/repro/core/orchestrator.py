@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional
+from typing import Callable, Dict, Hashable, List, Optional
 
 import networkx as nx
 
@@ -150,12 +150,17 @@ class ThreePhaseBroadcast:
         phase_one_end = start_time + dc_rounds * self.config.dc_round_interval
 
         virtual_source = select_virtual_source(payload, group)
-        self._schedule_phase_two(
+        cancel_flood_hook = self._schedule_phase_two(
             payload_id, group, virtual_source, phase_one_end, timeline
         )
 
         if run_to_completion:
             self.simulator.run_until_idle()
+            # The event queue is drained: a broadcast that never reached
+            # Phase 3 by now never will, so drop its pending flood hook
+            # rather than letting a later broadcast that reuses the same
+            # payload id fire it into this (already final) timeline.
+            cancel_flood_hook()
 
         result = self._collect_result(
             payload_id, source, group, virtual_source, dc_rounds, timeline
@@ -242,7 +247,7 @@ class ThreePhaseBroadcast:
         virtual_source: Hashable,
         phase_one_end: float,
         timeline: PhaseTimeline,
-    ) -> None:
+    ) -> Callable[[], None]:
         delay = max(0.0, phase_one_end - self.simulator.now)
 
         def start_phase_two() -> None:
@@ -253,24 +258,15 @@ class ThreePhaseBroadcast:
 
         self.simulator.schedule(delay, start_phase_two)
 
-        # The flood phase start is recorded lazily: the first flood message
-        # observed for this payload marks the Phase 3 boundary.  The watcher
-        # gives up after a bounded number of checks so a broadcast that never
-        # reaches Phase 3 cannot keep the simulation alive forever.
-        max_checks = 10 * self.config.diffusion_depth + 100
-
-        def watch_for_flood(remaining: int) -> None:
-            for obs in self.simulator.observations:
-                if (
-                    obs.message.payload_id == payload_id
-                    and obs.message.kind == ThreePhaseNode.FLOOD_KIND
-                ):
-                    timeline.record(Phase.FLOOD, obs.time)
-                    return
-            if remaining > 0:
-                self.simulator.schedule(1.0, lambda: watch_for_flood(remaining - 1))
-
-        self.simulator.schedule(delay + 1.0, lambda: watch_for_flood(max_checks))
+        # The first flood message observed for this payload marks the Phase 3
+        # boundary.  The observation store fires the hook exactly once, at
+        # delivery time, so no polling events are needed and a broadcast that
+        # never reaches Phase 3 simply never records a flood start.
+        return self.simulator.store.on_first(
+            payload_id,
+            ThreePhaseNode.FLOOD_KIND,
+            lambda obs: timeline.record(Phase.FLOOD, obs.time),
+        )
 
     # ------------------------------------------------------------------
     # Result collection

@@ -25,6 +25,7 @@ from repro.network.latency import (
 from repro.network.message import Message, Observation
 from repro.network.metrics import MetricsCollector
 from repro.network.node import Node
+from repro.network.observation_store import ObservationStore
 from repro.network.simulator import Simulator
 from repro.network.topology import (
     barabasi_albert_overlay,
@@ -49,6 +50,7 @@ __all__ = [
     "Observation",
     "MetricsCollector",
     "Node",
+    "ObservationStore",
     "Simulator",
     "barabasi_albert_overlay",
     "bitcoin_like_overlay",

@@ -5,39 +5,51 @@ message counts ("12,500 messages with adaptive diffusion ... 7,000 messages
 for a regular flood and prune broadcast") and latency.  The collector records
 every send and every payload delivery so that the benchmarks can regenerate
 those numbers without protocol code having to count anything itself.
+
+Message traffic is written through an
+:class:`~repro.network.observation_store.ObservationStore` shared with the
+simulator, so every traffic query (``message_count``, ``first_observations``)
+is answered from an index in O(result) instead of scanning the global send
+log.  Payload deliveries (the "node X now knows the payload" events) are
+indexed here per payload, so ``delivered_nodes``, ``reach`` and
+``completion_time`` are O(result) as well.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
-from repro.network.message import Message, Observation
+from repro.network.message import Observation
+from repro.network.observation_store import ObservationStore
 
 
-@dataclass
 class MetricsCollector:
-    """Aggregates message traffic and payload delivery statistics."""
+    """Aggregates message traffic and payload delivery statistics.
 
-    sends: List[Observation] = field(default_factory=list)
-    deliveries: Dict[Tuple[Hashable, Hashable], float] = field(
-        default_factory=dict
-    )
-    _sends_by_kind: Dict[str, int] = field(
-        default_factory=lambda: defaultdict(int)
-    )
-    _sends_by_payload: Dict[Hashable, int] = field(
-        default_factory=lambda: defaultdict(int)
-    )
-    _bytes_total: int = 0
+    Args:
+        store: the observation store to write sends through.  The simulator
+            passes its own store so that metrics queries and adversary views
+            share one set of indexes; a fresh private store is created when
+            the collector is used standalone.
+    """
+
+    def __init__(self, store: Optional[ObservationStore] = None) -> None:
+        self.store = store if store is not None else ObservationStore()
+        self.deliveries: Dict[Tuple[Hashable, Hashable], float] = {}
+        self._deliveries_by_payload: Dict[
+            Hashable, List[Tuple[float, Hashable]]
+        ] = defaultdict(list)
+        self._completion: Dict[Hashable, float] = {}
+
+    @property
+    def sends(self) -> List[Observation]:
+        """A copy of the chronological send log (kept for compatibility)."""
+        return self.store.observations
 
     def record_send(self, observation: Observation) -> None:
         """Record one message delivery (equivalently: one link traversal)."""
-        self.sends.append(observation)
-        self._sends_by_kind[observation.message.kind] += 1
-        self._sends_by_payload[observation.message.payload_id] += 1
-        self._bytes_total += observation.message.size_bytes
+        self.store.record(observation)
 
     def record_delivery(
         self, node: Hashable, payload_id: Hashable, time: float
@@ -50,6 +62,10 @@ class MetricsCollector:
         key = (node, payload_id)
         if key not in self.deliveries:
             self.deliveries[key] = time
+            self._deliveries_by_payload[payload_id].append((time, node))
+            previous = self._completion.get(payload_id)
+            if previous is None or time > previous:
+                self._completion[payload_id] = time
 
     # ------------------------------------------------------------------
     # Queries
@@ -59,40 +75,29 @@ class MetricsCollector:
         kind: Optional[str] = None,
         payload_id: Optional[Hashable] = None,
     ) -> int:
-        """Total number of sent messages, optionally filtered."""
-        if kind is None and payload_id is None:
-            return len(self.sends)
-        if kind is not None and payload_id is None:
-            return self._sends_by_kind.get(kind, 0)
-        if kind is None and payload_id is not None:
-            return self._sends_by_payload.get(payload_id, 0)
-        return sum(
-            1
-            for obs in self.sends
-            if obs.message.kind == kind and obs.message.payload_id == payload_id
-        )
+        """Total number of sent messages, optionally filtered.
+
+        All four filter combinations — including ``kind`` + ``payload_id``
+        together — are O(1) lookups into the store's indexes.
+        """
+        return self.store.count(kind=kind, payload_id=payload_id)
 
     def bytes_sent(self) -> int:
         """Total accounted traffic volume in bytes."""
-        return self._bytes_total
+        return self.store.bytes_total()
 
     def kinds(self) -> Dict[str, int]:
         """Message counts broken down by message kind."""
-        return dict(self._sends_by_kind)
+        return self.store.kind_counts()
 
     def delivered_nodes(self, payload_id: Hashable) -> List[Hashable]:
         """Nodes that received the payload content, in delivery order."""
-        entries = [
-            (time, node)
-            for (node, payload), time in self.deliveries.items()
-            if payload == payload_id
-        ]
-        entries.sort()
+        entries = sorted(self._deliveries_by_payload.get(payload_id, []))
         return [node for _, node in entries]
 
     def reach(self, payload_id: Hashable) -> int:
         """Number of distinct nodes that obtained the payload."""
-        return sum(1 for (_, payload) in self.deliveries if payload == payload_id)
+        return len(self._deliveries_by_payload.get(payload_id, ()))
 
     def delivery_time(
         self, node: Hashable, payload_id: Hashable
@@ -102,12 +107,7 @@ class MetricsCollector:
 
     def completion_time(self, payload_id: Hashable) -> Optional[float]:
         """Time of the last first-delivery of the payload, or ``None``."""
-        times = [
-            time
-            for (_, payload), time in self.deliveries.items()
-            if payload == payload_id
-        ]
-        return max(times) if times else None
+        return self._completion.get(payload_id)
 
     def first_observations(
         self, payload_id: Hashable, kinds: Optional[Tuple[str, ...]] = None
@@ -116,22 +116,15 @@ class MetricsCollector:
 
         This is the raw material of the first-spy adversary: for every node,
         when did it first see any message of this payload and from whom.
+        Served from the store's first-seen-per-receiver index.
         """
-        first: Dict[Hashable, Observation] = {}
-        for obs in self.sends:
-            if obs.message.payload_id != payload_id:
-                continue
-            if kinds is not None and obs.message.kind not in kinds:
-                continue
-            if obs.receiver not in first:
-                first[obs.receiver] = obs
-        return first
+        return self.store.first_observations(payload_id, kinds)
 
     def summary(self) -> Dict[str, float]:
         """A compact dictionary of headline statistics."""
         return {
-            "messages": float(len(self.sends)),
-            "bytes": float(self._bytes_total),
-            "payloads": float(len(self._sends_by_payload)),
+            "messages": float(len(self.store)),
+            "bytes": float(self.store.bytes_total()),
+            "payloads": float(self.store.payload_count()),
             "deliveries": float(len(self.deliveries)),
         }

@@ -1,0 +1,313 @@
+"""Indexed store of every delivery the simulator performed.
+
+The paper's evaluation (Section V-A) is phrased entirely in message counts
+and arrival times, so every adversary and every benchmark ends up asking the
+same small family of questions about the traffic log: "how many messages of
+this kind belonged to this payload", "when did each node first see the
+payload", "what did this observer set receive".  Answering those questions by
+scanning the global send log makes every query O(total traffic), which is the
+dominant cost once overlays reach thousands of nodes and a sweep runs
+hundreds of broadcasts over the same simulator.
+
+:class:`ObservationStore` is the single write path for deliveries.  The
+:class:`~repro.network.simulator.Simulator` records every
+:class:`~repro.network.message.Observation` through the
+:class:`~repro.network.metrics.MetricsCollector`, which writes into this
+store; the store maintains
+
+* the append-only log (chronological, because the event queue delivers in
+  time order),
+* per-``payload_id``, per-``kind`` and per-``(payload_id, kind)`` position
+  indexes (message counts become ``len()`` lookups),
+* a per-receiver position index (the honest-but-curious adversary view),
+* a first-seen-per-receiver index per payload and per ``(payload, kind)``
+  (the raw material of the first-spy estimator), and
+* one-shot *first observation* hooks so orchestration code can react to the
+  first message of a ``(payload, kind)`` pair without polling the log.
+
+All query methods cost O(size of the answer) — plus an O(log) merge factor
+when several index lists are combined — instead of O(everything ever sent).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.network.message import Observation
+
+FirstObservationHook = Callable[[Observation], None]
+
+
+class ObservationStore:
+    """Append-only, index-backed log of message deliveries.
+
+    Example:
+        >>> from repro.network.message import Message, Observation
+        >>> store = ObservationStore()
+        >>> obs = Observation(0.5, receiver=1, sender=0,
+        ...                   message=Message(kind="flood", payload_id="tx"))
+        >>> store.record(obs)
+        0
+        >>> store.count(kind="flood", payload_id="tx")
+        1
+    """
+
+    def __init__(self) -> None:
+        self._log: List[Observation] = []
+        self._by_payload: Dict[Hashable, List[int]] = defaultdict(list)
+        self._by_kind: Dict[str, List[int]] = defaultdict(list)
+        self._by_payload_kind: Dict[Tuple[Hashable, str], List[int]] = (
+            defaultdict(list)
+        )
+        self._by_receiver: Dict[Hashable, List[int]] = defaultdict(list)
+        self._first_by_receiver: Dict[Hashable, Dict[Hashable, int]] = {}
+        self._first_by_receiver_kind: Dict[
+            Tuple[Hashable, str], Dict[Hashable, int]
+        ] = {}
+        self._first_hooks: Dict[
+            Tuple[Hashable, str], List[FirstObservationHook]
+        ] = {}
+        self._bytes_total = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record(self, observation: Observation) -> int:
+        """Append one delivery and update every index.
+
+        Returns the observation's position in the log (its global sequence
+        number; positions are strictly increasing, so index lists are always
+        sorted and can be merged cheaply).
+        """
+        position = len(self._log)
+        self._log.append(observation)
+        message = observation.message
+        payload_id = message.payload_id
+        kind = message.kind
+        receiver = observation.receiver
+        pair = (payload_id, kind)
+
+        self._by_payload[payload_id].append(position)
+        self._by_kind[kind].append(position)
+        pair_positions = self._by_payload_kind[pair]
+        first_of_pair = not pair_positions
+        pair_positions.append(position)
+        self._by_receiver[receiver].append(position)
+        self._first_by_receiver.setdefault(payload_id, {}).setdefault(
+            receiver, position
+        )
+        self._first_by_receiver_kind.setdefault(pair, {}).setdefault(
+            receiver, position
+        )
+        self._bytes_total += message.size_bytes
+
+        if first_of_pair and pair in self._first_hooks:
+            for hook in self._first_hooks.pop(pair):
+                hook(observation)
+        return position
+
+    def on_first(
+        self, payload_id: Hashable, kind: str, hook: FirstObservationHook
+    ) -> Callable[[], None]:
+        """Invoke ``hook`` with the first observation of ``(payload, kind)``.
+
+        If such an observation already exists the hook fires immediately
+        (with the earliest one); otherwise it fires exactly once, from inside
+        :meth:`record`, the moment the first matching delivery happens.  This
+        replaces polling the log for phase transitions such as "the flood
+        phase has started".
+
+        Returns:
+            A cancel callable.  Calling it unregisters the hook if it has
+            not fired yet (and is a no-op otherwise); owners of hooks whose
+            condition can no longer legitimately occur — e.g. a finished
+            broadcast that never reached its flood phase — should cancel so
+            a later reuse of the same ``(payload, kind)`` pair cannot fire a
+            stale hook.
+        """
+        pair = (payload_id, kind)
+        existing = self._by_payload_kind.get(pair)
+        if existing:
+            hook(self._log[existing[0]])
+            return lambda: None
+
+        def cancel() -> None:
+            pending = self._first_hooks.get(pair)
+            if pending is None or hook not in pending:
+                return
+            pending.remove(hook)
+            if not pending:
+                del self._first_hooks[pair]
+
+        self._first_hooks.setdefault(pair, []).append(hook)
+        return cancel
+
+    # ------------------------------------------------------------------
+    # Counting (all O(1))
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def __iter__(self) -> Iterator[Observation]:
+        return iter(self._log)
+
+    def count(
+        self,
+        kind: Optional[str] = None,
+        payload_id: Optional[Hashable] = None,
+    ) -> int:
+        """Number of recorded deliveries matching the filters."""
+        if kind is None and payload_id is None:
+            return len(self._log)
+        if payload_id is None:
+            return len(self._by_kind.get(kind, ()))
+        if kind is None:
+            return len(self._by_payload.get(payload_id, ()))
+        return len(self._by_payload_kind.get((payload_id, kind), ()))
+
+    def kind_counts(self) -> Dict[str, int]:
+        """Delivery counts broken down by message kind."""
+        return {kind: len(positions) for kind, positions in self._by_kind.items()}
+
+    def payload_count(self) -> int:
+        """Number of distinct payload ids seen so far."""
+        return len(self._by_payload)
+
+    def bytes_total(self) -> int:
+        """Total accounted traffic volume in bytes."""
+        return self._bytes_total
+
+    # ------------------------------------------------------------------
+    # Querying (all O(result))
+    # ------------------------------------------------------------------
+    @property
+    def observations(self) -> List[Observation]:
+        """A copy of the full chronological log."""
+        return list(self._log)
+
+    def _positions(
+        self,
+        payload_id: Optional[Hashable],
+        kinds: Optional[Tuple[str, ...]],
+    ) -> Iterable[int]:
+        """Sorted log positions matching a payload and/or kind filter."""
+        if payload_id is not None and kinds is not None:
+            unique = list(dict.fromkeys(kinds))
+            lists = [
+                self._by_payload_kind.get((payload_id, kind), [])
+                for kind in unique
+            ]
+        elif payload_id is not None:
+            return self._by_payload.get(payload_id, [])
+        elif kinds is not None:
+            unique = list(dict.fromkeys(kinds))
+            lists = [self._by_kind.get(kind, []) for kind in unique]
+        else:
+            return range(len(self._log))
+        if len(lists) == 1:
+            return lists[0]
+        return heapq.merge(*lists)
+
+    def of_payload(
+        self,
+        payload_id: Hashable,
+        kinds: Optional[Tuple[str, ...]] = None,
+    ) -> List[Observation]:
+        """All deliveries of one payload in chronological order."""
+        return [self._log[i] for i in self._positions(payload_id, kinds)]
+
+    def for_receivers(
+        self,
+        receivers: Iterable[Hashable],
+        payload_id: Optional[Hashable] = None,
+        kinds: Optional[Tuple[str, ...]] = None,
+    ) -> List[Observation]:
+        """Deliveries received by any of ``receivers``, optionally filtered.
+
+        This is the honest-but-curious adversary query: everything a set of
+        observer nodes saw.  When a payload/kind filter is present the method
+        walks whichever index side is smaller — the observers' traffic or the
+        payload's traffic — so the cost is bounded by the smaller of the two,
+        never by the full log.
+        """
+        receiver_set = set(receivers)
+        receiver_lists = [
+            self._by_receiver[r] for r in receiver_set if r in self._by_receiver
+        ]
+        if payload_id is None and kinds is None:
+            merged = (
+                receiver_lists[0]
+                if len(receiver_lists) == 1
+                else heapq.merge(*receiver_lists)
+            )
+            return [self._log[i] for i in merged]
+
+        receiver_total = sum(len(lst) for lst in receiver_lists)
+        filter_total = self.count_for(payload_id, kinds)
+        if receiver_total <= filter_total:
+            kind_set = None if kinds is None else set(kinds)
+            merged = (
+                receiver_lists[0]
+                if len(receiver_lists) == 1
+                else heapq.merge(*receiver_lists)
+            )
+            return [
+                obs
+                for obs in (self._log[i] for i in merged)
+                if (payload_id is None or obs.message.payload_id == payload_id)
+                and (kind_set is None or obs.message.kind in kind_set)
+            ]
+        return [
+            obs
+            for obs in (self._log[i] for i in self._positions(payload_id, kinds))
+            if obs.receiver in receiver_set
+        ]
+
+    def count_for(
+        self,
+        payload_id: Optional[Hashable],
+        kinds: Optional[Tuple[str, ...]],
+    ) -> int:
+        """Number of deliveries matching a payload and/or multi-kind filter."""
+        if kinds is None:
+            return self.count(payload_id=payload_id)
+        unique = dict.fromkeys(kinds)
+        if payload_id is None:
+            return sum(len(self._by_kind.get(kind, ())) for kind in unique)
+        return sum(
+            len(self._by_payload_kind.get((payload_id, kind), ()))
+            for kind in unique
+        )
+
+    def first_observations(
+        self,
+        payload_id: Hashable,
+        kinds: Optional[Tuple[str, ...]] = None,
+    ) -> Dict[Hashable, Observation]:
+        """First delivery of the payload per receiving node.
+
+        With a ``kinds`` filter, the per-``(payload, kind)`` first-seen maps
+        are merged by log position, so the result matches a chronological
+        scan restricted to those kinds — at O(receivers) cost.
+        """
+        if kinds is None:
+            table = self._first_by_receiver.get(payload_id, {})
+            return {r: self._log[i] for r, i in table.items()}
+        best: Dict[Hashable, int] = {}
+        for kind in dict.fromkeys(kinds):
+            table = self._first_by_receiver_kind.get((payload_id, kind), {})
+            for receiver, position in table.items():
+                if receiver not in best or position < best[receiver]:
+                    best[receiver] = position
+        return {r: self._log[i] for r, i in best.items()}

@@ -4,8 +4,9 @@ The simulator owns the overlay graph, the clock, the latency model and the
 metrics.  Protocol behaviour lives entirely in :class:`~repro.network.node.Node`
 subclasses; the simulator's job is to deliver their messages after the
 latency-model delay and to record every delivery as an
-:class:`~repro.network.message.Observation` so adversaries and benchmarks can
-analyse the run afterwards.
+:class:`~repro.network.message.Observation` in the indexed
+:class:`~repro.network.observation_store.ObservationStore` so adversaries and
+benchmarks can analyse the run afterwards without scanning the full log.
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from repro.network.latency import ConstantLatency, LatencyModel
 from repro.network.message import Message, Observation
 from repro.network.metrics import MetricsCollector
 from repro.network.node import Node
+from repro.network.observation_store import ObservationStore
 
 
 class Simulator:
@@ -47,8 +49,8 @@ class Simulator:
         self.graph = graph
         self.latency = latency if latency is not None else ConstantLatency(1.0)
         self.rng = random.Random(seed)
-        self.metrics = MetricsCollector()
-        self.observations: List[Observation] = []
+        self.store = ObservationStore()
+        self.metrics = MetricsCollector(store=self.store)
         self._queue = EventQueue()
         self._nodes: Dict[Hashable, Node] = {}
         self._now = 0.0
@@ -135,7 +137,6 @@ class Simulator:
                 direct=direct,
             )
             self.metrics.record_send(observation)
-            self.observations.append(observation)
             self._nodes[receiver].on_message(sender, message)
 
         self._queue.push(self._now + delay, deliver)
@@ -190,6 +191,16 @@ class Simulator:
     # ------------------------------------------------------------------
     # Convenience queries used by experiments
     # ------------------------------------------------------------------
+    @property
+    def observations(self) -> List[Observation]:
+        """A copy of the chronological delivery log.
+
+        Prefer the indexed queries on :attr:`store` (or :attr:`metrics`) for
+        anything payload-, kind- or receiver-scoped; this property exists for
+        code that genuinely wants the whole log.
+        """
+        return self.store.observations
+
     def delivered_fraction(self, payload_id: Hashable) -> float:
         """Fraction of overlay nodes that obtained the payload."""
         return self.metrics.reach(payload_id) / self.graph.number_of_nodes()
@@ -206,6 +217,6 @@ class Simulator:
 
         Only deliveries *received by* one of the observers are visible; this
         is exactly the information a botnet of passive nodes collects.
+        Served from the store's per-receiver index in O(result).
         """
-        observer_set = set(observers)
-        return [obs for obs in self.observations if obs.receiver in observer_set]
+        return self.store.for_receivers(observers)

@@ -1,0 +1,330 @@
+"""Equivalence tests for the indexed observation store.
+
+Every indexed query must return exactly what a naive scan over the full
+chronological log returns — on randomized traffic, for every filter
+combination.  The naive reference implementations in this module mirror the
+pre-index code paths (linear scans over ``sends``) that the store replaced.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.network.message import Message, Observation
+from repro.network.node import Node
+from repro.network.observation_store import ObservationStore
+from repro.network.simulator import Simulator
+
+KINDS = ("flood", "ad_payload", "ad_token", "dc_share")
+PAYLOADS = ("tx-0", "tx-1", "tx-2", "tx-3", "tx-4")
+NODES = list(range(12))
+
+
+def random_log(seed, length=400):
+    """A randomized chronological traffic log."""
+    rng = random.Random(seed)
+    time = 0.0
+    log = []
+    for _ in range(length):
+        time += rng.uniform(0.0, 0.5)
+        sender, receiver = rng.sample(NODES, 2)
+        log.append(
+            Observation(
+                time=time,
+                receiver=receiver,
+                sender=sender,
+                message=Message(
+                    kind=rng.choice(KINDS),
+                    payload_id=rng.choice(PAYLOADS),
+                    size_bytes=rng.randrange(16, 512),
+                ),
+                direct=rng.random() < 0.2,
+            )
+        )
+    return log
+
+
+def store_from(log):
+    store = ObservationStore()
+    for obs in log:
+        store.record(obs)
+    return store
+
+
+# ----------------------------------------------------------------------
+# Naive reference implementations (the old linear-scan semantics)
+# ----------------------------------------------------------------------
+def naive_count(log, kind=None, payload_id=None):
+    return sum(
+        1
+        for obs in log
+        if (kind is None or obs.message.kind == kind)
+        and (payload_id is None or obs.message.payload_id == payload_id)
+    )
+
+
+def naive_of_payload(log, payload_id, kinds=None):
+    return [
+        obs
+        for obs in log
+        if obs.message.payload_id == payload_id
+        and (kinds is None or obs.message.kind in kinds)
+    ]
+
+
+def naive_first_observations(log, payload_id, kinds=None):
+    first = {}
+    for obs in log:
+        if obs.message.payload_id != payload_id:
+            continue
+        if kinds is not None and obs.message.kind not in kinds:
+            continue
+        if obs.receiver not in first:
+            first[obs.receiver] = obs
+    return first
+
+
+def naive_for_receivers(log, receivers, payload_id=None, kinds=None):
+    receiver_set = set(receivers)
+    return [
+        obs
+        for obs in log
+        if obs.receiver in receiver_set
+        and (payload_id is None or obs.message.payload_id == payload_id)
+        and (kinds is None or obs.message.kind in kinds)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Equivalence on randomized traffic
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", params=[1, 2, 3])
+def traffic(request):
+    log = random_log(seed=request.param)
+    return log, store_from(log)
+
+
+KIND_FILTERS = [None, ("flood",), ("flood", "ad_token"), ("missing",), KINDS]
+
+
+class TestCountEquivalence:
+    def test_counts_match_naive_scan(self, traffic):
+        log, store = traffic
+        for kind in (None,) + KINDS + ("missing",):
+            for payload_id in (None,) + PAYLOADS + ("missing",):
+                assert store.count(kind=kind, payload_id=payload_id) == (
+                    naive_count(log, kind, payload_id)
+                ), (kind, payload_id)
+
+    def test_multi_kind_counts(self, traffic):
+        log, store = traffic
+        for payload_id in (None,) + PAYLOADS:
+            for kinds in KIND_FILTERS:
+                if kinds is None:
+                    continue
+                expected = sum(naive_count(log, kind, payload_id) for kind in kinds)
+                assert store.count_for(payload_id, kinds) == expected
+
+    def test_duplicate_kinds_not_double_counted(self, traffic):
+        log, store = traffic
+        assert store.count_for(None, ("flood", "flood")) == naive_count(
+            log, "flood"
+        )
+
+    def test_totals(self, traffic):
+        log, store = traffic
+        assert len(store) == len(log)
+        assert store.bytes_total() == sum(o.message.size_bytes for o in log)
+        assert store.payload_count() == len(
+            {o.message.payload_id for o in log}
+        )
+        assert store.kind_counts() == {
+            kind: naive_count(log, kind)
+            for kind in {o.message.kind for o in log}
+        }
+
+
+class TestQueryEquivalence:
+    def test_log_preserved_in_order(self, traffic):
+        log, store = traffic
+        assert store.observations == log
+        assert list(store) == log
+
+    def test_of_payload(self, traffic):
+        log, store = traffic
+        for payload_id in PAYLOADS + ("missing",):
+            for kinds in KIND_FILTERS:
+                assert store.of_payload(payload_id, kinds) == (
+                    naive_of_payload(log, payload_id, kinds)
+                ), (payload_id, kinds)
+
+    def test_first_observations(self, traffic):
+        log, store = traffic
+        for payload_id in PAYLOADS + ("missing",):
+            for kinds in KIND_FILTERS:
+                assert store.first_observations(payload_id, kinds) == (
+                    naive_first_observations(log, payload_id, kinds)
+                ), (payload_id, kinds)
+
+    def test_for_receivers(self, traffic):
+        log, store = traffic
+        rng = random.Random(99)
+        subsets = [[], [0], NODES, rng.sample(NODES, 4), rng.sample(NODES, 7)]
+        for receivers in subsets:
+            for payload_id in (None, "tx-1", "missing"):
+                for kinds in KIND_FILTERS:
+                    assert store.for_receivers(receivers, payload_id, kinds) == (
+                        naive_for_receivers(log, receivers, payload_id, kinds)
+                    ), (receivers, payload_id, kinds)
+
+
+class TestFirstObservationHooks:
+    def test_hook_fires_once_on_first_match(self):
+        store = ObservationStore()
+        log = random_log(seed=7, length=100)
+        seen = []
+        store.on_first("tx-1", "flood", seen.append)
+        for obs in log:
+            store.record(obs)
+        expected = naive_of_payload(log, "tx-1", ("flood",))
+        assert seen == expected[:1]
+
+    def test_hook_fires_immediately_when_registered_late(self):
+        log = random_log(seed=8, length=100)
+        store = store_from(log)
+        seen = []
+        store.on_first("tx-2", "flood", seen.append)
+        assert seen == naive_of_payload(log, "tx-2", ("flood",))[:1]
+
+    def test_hook_never_fires_without_match(self):
+        store = store_from(random_log(seed=9, length=50))
+        seen = []
+        store.on_first("tx-0", "no-such-kind", seen.append)
+        assert seen == []
+
+    def test_cancelled_hook_never_fires(self):
+        store = ObservationStore()
+        seen = []
+        cancel = store.on_first("tx", "flood", seen.append)
+        cancel()
+        store.record(
+            Observation(
+                time=1.0,
+                receiver=1,
+                sender=0,
+                message=Message(kind="flood", payload_id="tx"),
+            )
+        )
+        assert seen == []
+        cancel()  # cancelling twice is a harmless no-op
+
+    def test_cancel_after_fire_is_noop(self):
+        log = random_log(seed=10, length=50)
+        store = store_from(log)
+        payload_id = log[0].message.payload_id
+        kind = log[0].message.kind
+        seen = []
+        cancel = store.on_first(payload_id, kind, seen.append)
+        assert seen == [log[0]]
+        cancel()
+
+    def test_cancel_preserves_sibling_hooks(self):
+        store = ObservationStore()
+        first, second = [], []
+        cancel_first = store.on_first("tx", "flood", first.append)
+        store.on_first("tx", "flood", second.append)
+        cancel_first()
+        obs = Observation(
+            time=1.0,
+            receiver=1,
+            sender=0,
+            message=Message(kind="flood", payload_id="tx"),
+        )
+        store.record(obs)
+        assert first == []
+        assert second == [obs]
+
+    def test_multiple_hooks_all_fire(self):
+        store = ObservationStore()
+        first, second = [], []
+        store.on_first("tx", "flood", first.append)
+        store.on_first("tx", "flood", second.append)
+        obs = Observation(
+            time=1.0,
+            receiver=1,
+            sender=0,
+            message=Message(kind="flood", payload_id="tx"),
+        )
+        store.record(obs)
+        store.record(obs)
+        assert first == [obs]
+        assert second == [obs]
+
+
+class TestSimulatorIntegration:
+    """The simulator's metrics answers must match scans of its own log."""
+
+    @pytest.fixture(scope="class")
+    def sim(self):
+        class GossipyNode(Node):  # randomized multi-payload traffic
+            def on_start(self):
+                rng = self.simulator.rng
+                for index in range(3):
+                    payload = f"tx-{rng.randrange(3)}"
+                    kind = rng.choice(["flood", "ad_payload"])
+                    for peer in self.neighbours:
+                        if rng.random() < 0.5:
+                            self.send(
+                                peer, Message(kind=kind, payload_id=payload)
+                            )
+                    self.mark_delivered(payload)
+
+            def on_message(self, sender, message):
+                pass
+
+        sim = Simulator(nx.random_regular_graph(4, 20, seed=3), seed=11)
+        sim.populate(GossipyNode)
+        sim.run_until_idle()
+        return sim
+
+    def test_mixed_filter_message_count(self, sim):
+        log = sim.observations
+        for kind in (None, "flood", "ad_payload"):
+            for payload_id in (None, "tx-0", "tx-1", "tx-2", "missing"):
+                assert sim.metrics.message_count(kind, payload_id) == (
+                    naive_count(log, kind, payload_id)
+                )
+
+    def test_first_observations_match(self, sim):
+        log = sim.observations
+        for payload_id in ("tx-0", "tx-1", "tx-2"):
+            assert sim.metrics.first_observations(payload_id) == (
+                naive_first_observations(log, payload_id)
+            )
+            assert sim.metrics.first_observations(payload_id, ("flood",)) == (
+                naive_first_observations(log, payload_id, ("flood",))
+            )
+
+    def test_observations_for_matches(self, sim):
+        log = sim.observations
+        observers = [0, 3, 7, 19]
+        assert sim.observations_for(observers) == naive_for_receivers(
+            log, observers
+        )
+
+    def test_delivery_queries_match_naive(self, sim):
+        deliveries = sim.metrics.deliveries
+        for payload_id in ("tx-0", "tx-1", "tx-2", "missing"):
+            entries = sorted(
+                (time, node)
+                for (node, payload), time in deliveries.items()
+                if payload == payload_id
+            )
+            assert sim.metrics.delivered_nodes(payload_id) == [
+                node for _, node in entries
+            ]
+            assert sim.metrics.reach(payload_id) == len(entries)
+            assert sim.metrics.completion_time(payload_id) == (
+                max(t for t, _ in entries) if entries else None
+            )
