@@ -1,0 +1,120 @@
+"""E12 — beyond the paper: all registered protocols under one environment.
+
+The legacy experiments (E3–E5, E8) reproduce the paper's numbers and keep
+their historical per-protocol latency defaults.  E12 is the registry-era
+version of the comparison: every protocol in :mod:`repro.protocols` —
+including the previously unreachable ``gossip`` and standalone
+``adaptive_diffusion`` — runs through the one harness under literally the
+same :class:`~repro.network.conditions.NetworkConditions`, with both the
+first-spy and the rumor-centrality estimator, so the privacy/cost ordering
+is measured without environmental bias.
+"""
+
+from repro.analysis.experiment import run_attack_experiment
+from repro.analysis.reporting import format_table
+from repro.core.config import ProtocolConfig
+from repro.diffusion.adaptive import AdaptiveDiffusionConfig
+from repro.network import NetworkConditions
+from repro.protocols import available_protocols, create_protocol
+
+ADVERSARY_FRACTION = 0.2
+BROADCASTS = 6
+
+
+def _protocol(name):
+    if name == "three_phase":
+        return create_protocol(
+            name, config=ProtocolConfig(group_size=5, diffusion_depth=3)
+        )
+    if name == "adaptive_diffusion":
+        return create_protocol(
+            name, config=AdaptiveDiffusionConfig(max_rounds=10), max_time=500.0
+        )
+    return create_protocol(name)
+
+
+def _measure(overlay_100):
+    conditions = NetworkConditions.internet_like()
+    results = {}
+    for name in available_protocols():
+        results[name] = run_attack_experiment(
+            overlay_100,
+            _protocol(name),
+            ADVERSARY_FRACTION,
+            broadcasts=BROADCASTS,
+            seed=12,
+            conditions=conditions,
+        )
+    # The snapshot adversary, on the two protocols it is the natural attack
+    # against (diffusion hides the source from snapshots by design).
+    snapshots = {
+        name: run_attack_experiment(
+            overlay_100,
+            _protocol(name),
+            ADVERSARY_FRACTION,
+            broadcasts=BROADCASTS,
+            seed=12,
+            conditions=conditions,
+            estimator="rumor_centrality",
+        )
+        for name in ("flood", "adaptive_diffusion")
+    }
+    return results, snapshots
+
+
+def test_e12_protocol_faceoff(benchmark, overlay_100):
+    results, snapshots = benchmark.pedantic(
+        _measure, args=(overlay_100,), iterations=1, rounds=1
+    )
+    print()
+    print(
+        format_table(
+            ["protocol", "first-spy detection", "messages/broadcast",
+             "mean reach", "anonymity floor"],
+            [
+                [
+                    name,
+                    res.detection.detection_probability,
+                    res.messages_per_broadcast,
+                    res.mean_reach,
+                    res.anonymity_floor,
+                ]
+                for name, res in results.items()
+            ],
+            title=(
+                "E12: registry face-off under identical conditions "
+                f"({ADVERSARY_FRACTION:.0%} adversary)"
+            ),
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["protocol", "rumor-centrality detection"],
+            [
+                [name, res.detection.detection_probability]
+                for name, res in snapshots.items()
+            ],
+            title="E12b: snapshot (rumor-centrality) adversary",
+        )
+    )
+
+    # Every registered protocol ran through the one entry point.
+    assert set(results) == set(available_protocols())
+    for name, res in results.items():
+        assert res.detection.total == BROADCASTS
+        assert res.messages_per_broadcast > 0
+        # Lossless conditions: complete protocols deliver everywhere, gossip
+        # (bounded fanout) nearly everywhere.
+        assert res.mean_reach >= (0.9 if name == "gossip" else 1.0)
+    # The paper's headline ordering, now measured without environmental
+    # bias: the three-phase protocol is hardest to deanonymise, plain
+    # flooding easiest (and cheapest).
+    flood = results["flood"]
+    three_phase = results["three_phase"]
+    assert (
+        three_phase.detection.detection_probability
+        <= flood.detection.detection_probability
+    )
+    assert flood.messages_per_broadcast <= three_phase.messages_per_broadcast
+    assert three_phase.anonymity_floor > 1

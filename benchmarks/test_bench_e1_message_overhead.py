@@ -7,8 +7,6 @@ the adaptive-diffusion overhead with this library's accounting (payload
 messages plus token/spread control traffic, stopping at full coverage).
 """
 
-import pytest
-
 from repro.analysis.reporting import format_table
 from repro.analysis.stats import summarize
 from repro.broadcast.flood import run_flood

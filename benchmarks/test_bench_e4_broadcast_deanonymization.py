@@ -7,18 +7,25 @@ times.  The benchmark sweeps the compromised fraction and measures first-spy
 recall against flood-and-prune.
 """
 
-from repro.analysis.experiment import attack_experiment
+from repro.analysis.experiment import run_attack_experiment
 from repro.analysis.reporting import format_table
+from repro.network import NetworkConditions
 
 FRACTIONS = [0.05, 0.1, 0.2, 0.3]
 BROADCASTS = 12
 
 
 def _measure(overlay_200):
+    # Registry-driven: the explicit form of the legacy
+    # attack_experiment(overlay, "flood", ...) call — same conditions (stable
+    # per-edge latency, lossless), same seeds, same numbers, but protocol and
+    # estimator are now free parameters.
+    conditions = NetworkConditions()
     rows = []
     for index, fraction in enumerate(FRACTIONS):
-        result = attack_experiment(
-            overlay_200, "flood", fraction, broadcasts=BROADCASTS, seed=10 + index
+        result = run_attack_experiment(
+            overlay_200, "flood", fraction, broadcasts=BROADCASTS,
+            seed=10 + index, conditions=conditions, estimator="first_spy",
         )
         rows.append((fraction, result.detection.detection_probability,
                      result.detection.precision))

@@ -9,11 +9,7 @@ Two claims are measured:
   and close to the 1/n goal of perfect obfuscation.
 """
 
-import random
-
-from repro.adversary.botnet import deploy_botnet
 from repro.adversary.collusion import group_collusion_posterior
-from repro.adversary.first_spy import FirstSpyEstimator
 from repro.analysis.experiment import attack_experiment
 from repro.analysis.reporting import format_table
 from repro.core.config import ProtocolConfig

@@ -26,6 +26,7 @@ from repro.adversary.collusion import group_collusion_posterior
 from repro.adversary.first_spy import FirstSpyEstimator
 from repro.adversary.observer import AdversaryView
 from repro.adversary.rumor_centrality import (
+    RumorCentralityEstimator,
     infected_snapshot,
     rumor_centrality,
     rumor_source_estimate,
@@ -33,6 +34,7 @@ from repro.adversary.rumor_centrality import (
 )
 
 __all__ = [
+    "RumorCentralityEstimator",
     "BotnetDeployment",
     "deploy_botnet",
     "inject_supernodes",

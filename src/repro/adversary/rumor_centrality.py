@@ -25,6 +25,7 @@ import networkx as nx
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.network.metrics import MetricsCollector
+    from repro.network.simulator import Simulator
 
 
 def _subtree_sizes(tree: nx.Graph, root: Hashable) -> Dict[Hashable, int]:
@@ -119,3 +120,29 @@ def rumor_source_from_metrics(
     return rumor_source_estimate(
         graph, infected_snapshot(metrics, payload_id, at_time)
     )
+
+
+class RumorCentralityEstimator:
+    """Snapshot adversary with the same interface as ``FirstSpyEstimator``.
+
+    The experiment harness treats estimators as interchangeable
+    ``factory(simulator, observers) → .guess(payload_id)`` objects.  This one
+    models an adversary that obtains an end-of-run infection snapshot and
+    names the node with maximal rumor centrality; the observer set is
+    accepted for interface compatibility but unused — a snapshot adversary's
+    power does not come from owning relay nodes.
+    """
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        observers: Iterable[Hashable] = (),
+    ) -> None:
+        self.simulator = simulator
+        self.observers = set(observers)
+
+    def guess(self, payload_id: Hashable) -> Optional[Hashable]:
+        """The snapshot adversary's single best guess for the originator."""
+        return rumor_source_from_metrics(
+            self.simulator.graph, self.simulator.metrics, payload_id
+        )

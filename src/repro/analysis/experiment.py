@@ -1,30 +1,80 @@
-"""Reusable attack experiments shared by benchmarks and examples.
+"""Registry-driven attack experiments shared by benchmarks and examples.
 
 The central privacy experiment of this reproduction is always the same
 shape: broadcast many transactions from random sources with some protocol,
 let a botnet-scale adversary watch a fraction of the network, and measure
-how often the first-spy estimator identifies the true originator.  This
-module implements that loop once for every protocol so the benchmarks only
-differ in which protocol and parameter they sweep.
+how often a source estimator identifies the true originator.
+:func:`run_attack_experiment` implements that loop once for *every* protocol
+in the :mod:`repro.protocols` registry, under one set of
+:class:`~repro.network.conditions.NetworkConditions` and with a pluggable
+estimator (first-spy or rumor-centrality, or any
+``factory(simulator, observers) → .guess(payload_id)`` callable).
+
+:func:`attack_experiment` remains as the legacy entry point.  It is a thin
+shim over the registry that reproduces the historical per-protocol defaults
+seed-for-seed: the three-phase protocol on constant 0.1 latency, the
+baselines on per-edge 50–300 ms latency, everything lossless.  New code
+should call :func:`run_attack_experiment` with explicit conditions so all
+protocols face the same environment.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 import networkx as nx
 
 from repro.adversary.botnet import deploy_botnet
 from repro.adversary.first_spy import FirstSpyEstimator
-from repro.broadcast.dandelion import DandelionConfig, DandelionNode, assign_stem_successors
-from repro.broadcast.flood import FloodNode
+from repro.adversary.rumor_centrality import RumorCentralityEstimator
+from repro.broadcast.dandelion import DandelionConfig
 from repro.core.config import ProtocolConfig
-from repro.core.orchestrator import ThreePhaseBroadcast
-from repro.network.latency import PerEdgeLatency
+from repro.network.conditions import NetworkConditions
+from repro.network.latency import ConstantLatency
 from repro.network.simulator import Simulator
 from repro.privacy.detection import DetectionStats, evaluate_attack
+from repro.protocols import BroadcastProtocol, create_protocol
+
+#: An estimator factory: called once per attacked broadcast with the
+#: session's simulator and the adversary's observer set; the returned object
+#: answers ``guess(payload_id)``.
+EstimatorFactory = Callable[[Simulator, Set[Hashable]], object]
+
+#: Named estimators selectable by string from every experiment driver.
+ESTIMATORS: Dict[str, EstimatorFactory] = {
+    "first_spy": FirstSpyEstimator,
+    "rumor_centrality": RumorCentralityEstimator,
+}
+
+
+def resolve_estimator(
+    estimator: Union[str, EstimatorFactory],
+) -> Tuple[str, EstimatorFactory]:
+    """Resolve an estimator name or factory into ``(name, factory)``.
+
+    Raises:
+        ValueError: for an unknown estimator name.
+    """
+    if not isinstance(estimator, str):
+        return getattr(estimator, "__name__", "custom"), estimator
+    try:
+        return estimator, ESTIMATORS[estimator]
+    except KeyError:
+        known = ", ".join(sorted(ESTIMATORS))
+        raise ValueError(
+            f"unknown estimator {estimator!r} (available: {known})"
+        ) from None
 
 
 @dataclass
@@ -34,11 +84,15 @@ class ExperimentResult:
     Attributes:
         protocol: name of the evaluated dissemination protocol.
         adversary_fraction: fraction of compromised nodes.
-        detection: precision/recall statistics of the first-spy attack.
+        detection: precision/recall statistics of the deanonymisation attack.
         messages_per_broadcast: mean number of messages per broadcast.
         anonymity_floor: size of the smallest anonymity set the protocol
             guarantees by construction (group size for the three-phase
             protocol, 1 for the baselines).
+        estimator: name of the source estimator the adversary used.
+        mean_reach: mean delivered fraction over the broadcasts (1.0 under
+            lossless conditions for complete protocols; degrades with
+            message loss).
     """
 
     protocol: str
@@ -46,6 +100,8 @@ class ExperimentResult:
     detection: DetectionStats
     messages_per_broadcast: float
     anonymity_floor: int
+    estimator: str = "first_spy"
+    mean_reach: float = 1.0
 
 
 def _pick_sources(
@@ -53,6 +109,96 @@ def _pick_sources(
 ) -> List[Hashable]:
     nodes = sorted(graph.nodes, key=repr)
     return [rng.choice(nodes) for _ in range(count)]
+
+
+def run_attack_experiment(
+    graph: nx.Graph,
+    protocol: Union[str, BroadcastProtocol],
+    adversary_fraction: float,
+    broadcasts: int = 20,
+    seed: int = 0,
+    conditions: Optional[NetworkConditions] = None,
+    estimator: Union[str, EstimatorFactory] = "first_spy",
+) -> ExperimentResult:
+    """Run the deanonymisation experiment against one registered protocol.
+
+    Args:
+        graph: the overlay to simulate on.
+        protocol: a registry name (see
+            :func:`repro.protocols.available_protocols`) or a ready
+            :class:`~repro.protocols.base.BroadcastProtocol` instance (use an
+            instance to pass protocol options).
+        adversary_fraction: fraction of nodes the adversary controls.  The
+            true source of each broadcast is never compromised itself (the
+            adversary learning its own transactions is not an attack).
+        broadcasts: number of transactions to broadcast and attack.
+        seed: master seed of the experiment.
+        conditions: shared network conditions; defaults to lossless
+            internet-like per-edge latency.
+        estimator: estimator name (``"first_spy"``, ``"rumor_centrality"``)
+            or a custom factory.
+
+    Session handling follows the protocol's declaration: a
+    ``shared_session`` protocol (three-phase) builds one session for all
+    broadcasts and deploys one botnet protected from every source, while
+    per-broadcast protocols get a fresh session, seed ``seed * 1000 + index``
+    and botnet per broadcast — the schedules of the historical experiment
+    loop, kept so results stay comparable across versions.
+
+    Returns:
+        The aggregated :class:`ExperimentResult`.
+
+    Raises:
+        ValueError: for an unknown protocol or estimator name.
+    """
+    proto = (
+        protocol
+        if isinstance(protocol, BroadcastProtocol)
+        else create_protocol(protocol)
+    )
+    estimator_name, estimator_factory = resolve_estimator(estimator)
+
+    rng = random.Random(seed)
+    sources = _pick_sources(graph, broadcasts, rng)
+    outcomes: List[Tuple[Hashable, Optional[Hashable]]] = []
+    message_counts: List[float] = []
+    reaches: List[float] = []
+
+    if proto.shared_session:
+        session = proto.build(graph, conditions, seed=seed)
+        botnet = deploy_botnet(
+            graph, adversary_fraction, rng, protected=set(sources)
+        )
+        for index, source in enumerate(sources):
+            payload_id = f"tx-{seed}-{index}"
+            outcome = proto.broadcast(session, source, payload_id)
+            guesser = estimator_factory(session.simulator, botnet.observers)
+            outcomes.append((source, guesser.guess(payload_id)))
+            message_counts.append(float(outcome.messages))
+            reaches.append(outcome.delivered_fraction)
+    else:
+        for index, source in enumerate(sources):
+            run_seed = seed * 1000 + index
+            session = proto.build(graph, conditions, seed=run_seed)
+            botnet = deploy_botnet(
+                graph, adversary_fraction, session.rng, protected={source}
+            )
+            payload_id = f"tx-{run_seed}"
+            outcome = proto.broadcast(session, source, payload_id)
+            guesser = estimator_factory(session.simulator, botnet.observers)
+            outcomes.append((source, guesser.guess(payload_id)))
+            message_counts.append(float(outcome.messages))
+            reaches.append(outcome.delivered_fraction)
+
+    return ExperimentResult(
+        protocol=proto.name,
+        adversary_fraction=adversary_fraction,
+        detection=evaluate_attack(outcomes),
+        messages_per_broadcast=sum(message_counts) / len(message_counts),
+        anonymity_floor=proto.anonymity_floor(),
+        estimator=estimator_name,
+        mean_reach=sum(reaches) / len(reaches),
+    )
 
 
 def attack_experiment(
@@ -64,11 +210,17 @@ def attack_experiment(
     config: Optional[ProtocolConfig] = None,
     dandelion_config: Optional[DandelionConfig] = None,
 ) -> ExperimentResult:
-    """Run the first-spy attack experiment against one protocol.
+    """Legacy first-spy experiment entry point (compatibility shim).
+
+    Thin wrapper over :func:`run_attack_experiment` that reproduces the
+    historical per-protocol environments seed-for-seed: ``"three_phase"``
+    runs on constant 0.1 latency, ``"flood"`` and ``"dandelion"`` on stable
+    per-edge 50–300 ms latency, all lossless with the first-spy estimator.
+    Any other registered protocol name runs under the default conditions.
 
     Args:
         graph: the overlay to simulate on.
-        protocol: ``"flood"``, ``"dandelion"`` or ``"three_phase"``.
+        protocol: a registered protocol name.
         adversary_fraction: fraction of nodes the adversary controls.
         broadcasts: number of transactions to broadcast and attack.
         seed: master seed of the experiment.
@@ -81,65 +233,24 @@ def attack_experiment(
     Raises:
         ValueError: for an unknown protocol name.
     """
-    rng = random.Random(seed)
-    outcomes: List[Tuple[Hashable, Optional[Hashable]]] = []
-    message_counts: List[float] = []
-
+    conditions: Optional[NetworkConditions]
     if protocol == "three_phase":
-        proto_config = config or ProtocolConfig()
-        system = ThreePhaseBroadcast(graph, proto_config, seed=seed)
-        sources = _pick_sources(graph, broadcasts, rng)
-        # The true sources are never compromised themselves (the adversary
-        # learning its own transactions is not an attack), matching the
-        # treatment of the baseline protocols below.
-        botnet = deploy_botnet(graph, adversary_fraction, rng, protected=set(sources))
-        for index, source in enumerate(sources):
-            payload = f"tx-{seed}-{index}".encode("utf-8")
-            result = system.broadcast(source, payload)
-            estimator = FirstSpyEstimator(system.simulator, botnet.observers)
-            outcomes.append((source, estimator.guess(result.payload_id)))
-            message_counts.append(float(result.messages_total))
-        floor = proto_config.group_size
-        return ExperimentResult(
-            protocol=protocol,
-            adversary_fraction=adversary_fraction,
-            detection=evaluate_attack(outcomes),
-            messages_per_broadcast=sum(message_counts) / len(message_counts),
-            anonymity_floor=floor,
-        )
-
-    if protocol not in ("flood", "dandelion"):
-        raise ValueError(f"unknown protocol {protocol!r}")
-
-    sources = _pick_sources(graph, broadcasts, rng)
-    for index, source in enumerate(sources):
-        run_seed = seed * 1000 + index
-        run_rng = random.Random(run_seed)
-        simulator = Simulator(
-            graph, latency=PerEdgeLatency(run_rng, 0.05, 0.3), seed=run_seed
-        )
-        if protocol == "flood":
-            simulator.populate(FloodNode)
-        else:
-            successors = assign_stem_successors(graph, run_rng)
-            dandelion = dandelion_config or DandelionConfig()
-            simulator.populate(
-                lambda node_id: DandelionNode(node_id, dandelion, successors[node_id])
-            )
-        botnet = deploy_botnet(graph, adversary_fraction, run_rng, protected={source})
-        payload_id = f"tx-{run_seed}"
-        simulator.node(source).originate(payload_id)
-        simulator.run_until_idle()
-        estimator = FirstSpyEstimator(simulator, botnet.observers)
-        outcomes.append((source, estimator.guess(payload_id)))
-        message_counts.append(
-            float(simulator.metrics.message_count(payload_id=payload_id))
-        )
-
-    return ExperimentResult(
-        protocol=protocol,
-        adversary_fraction=adversary_fraction,
-        detection=evaluate_attack(outcomes),
-        messages_per_broadcast=sum(message_counts) / len(message_counts),
-        anonymity_floor=1,
+        proto: BroadcastProtocol = create_protocol("three_phase", config=config)
+        conditions = NetworkConditions(latency=ConstantLatency(0.1))
+    elif protocol == "dandelion":
+        proto = create_protocol("dandelion", config=dandelion_config)
+        conditions = NetworkConditions()
+    elif protocol == "flood":
+        proto = create_protocol("flood")
+        conditions = NetworkConditions()
+    else:
+        proto = create_protocol(protocol)
+        conditions = None
+    return run_attack_experiment(
+        graph,
+        proto,
+        adversary_fraction,
+        broadcasts=broadcasts,
+        seed=seed,
+        conditions=conditions,
     )

@@ -29,11 +29,10 @@ from repro.core.protocol import ThreePhaseNode
 from repro.core.transitions import select_virtual_source
 from repro.dcnet.group_session import DCNetGroupSession
 from repro.groups.directory import GroupDirectory
+from repro.network.conditions import NetworkConditions
 from repro.network.latency import ConstantLatency, LatencyModel
 from repro.network.message import Message
 from repro.network.simulator import Simulator
-
-_payload_counter = itertools.count()
 
 
 @dataclass
@@ -71,6 +70,12 @@ class BroadcastResult:
 class ThreePhaseBroadcast:
     """The three-phase privacy-preserving broadcast over one overlay.
 
+    An instance is a long-lived *session*: construct it once per overlay
+    (optionally under shared :class:`~repro.network.conditions.NetworkConditions`)
+    and call :meth:`broadcast` any number of times.  The protocol registry
+    (:mod:`repro.protocols`) builds exactly such sessions, so the three-phase
+    protocol runs in the same harness as every baseline.
+
     Example:
         >>> from repro.network.topology import random_regular_overlay
         >>> from repro.core import ProtocolConfig, ThreePhaseBroadcast
@@ -88,15 +93,34 @@ class ThreePhaseBroadcast:
         seed: Optional[int] = None,
         latency: Optional[LatencyModel] = None,
         directory: Optional[GroupDirectory] = None,
+        conditions: Optional[NetworkConditions] = None,
     ) -> None:
         self.config = config or ProtocolConfig()
         self.rng = random.Random(seed)
         self.graph = graph
+        if latency is None:
+            if conditions is not None:
+                # Build the latency from a dedicated RNG so that lazily
+                # drawing models (PerEdgeLatency) never perturb the protocol
+                # stream ``self.rng``.
+                latency = conditions.build_latency(
+                    random.Random(None if seed is None else seed + 2)
+                )
+            else:
+                latency = ConstantLatency(0.1)
+        self.conditions = conditions
         self.simulator = Simulator(
             graph,
-            latency=latency or ConstantLatency(0.1),
+            latency=latency,
             seed=None if seed is None else seed + 1,
+            conditions=conditions,
         )
+        # Per-instance counter for auto-generated payload ids: two systems
+        # constructed the same way hand out the same id sequence regardless
+        # of what else ran in the process — a replayability requirement for
+        # parallel sweeps (a module-level counter would depend on process
+        # history).
+        self._payload_counter = itertools.count()
         self.simulator.populate(
             lambda node_id: ThreePhaseNode(node_id, self.config)
         )
@@ -140,7 +164,7 @@ class ThreePhaseBroadcast:
             The :class:`BroadcastResult` for this broadcast.
         """
         if payload_id is None:
-            payload_id = f"payload-{next(_payload_counter)}"
+            payload_id = f"payload-{next(self._payload_counter)}"
         timeline = PhaseTimeline()
         start_time = self.simulator.now
         timeline.record(Phase.DC_NET, start_time)

@@ -17,13 +17,12 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Hashable, Iterable, List, Optional
 
 from repro.dcnet.announcement import (
     ANNOUNCEMENT_FRAME_BYTES,
     decode_announcement,
     encode_announcement,
-    idle_announcement,
 )
 from repro.dcnet.collision import BackoffPolicy, decode_payload, encode_payload
 from repro.dcnet.round import DCNetRoundResult, expected_messages, run_round

@@ -29,9 +29,8 @@ Message kinds used on the wire:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, Optional
 
 import networkx as nx
 
@@ -385,7 +384,7 @@ def run_adaptive_diffusion(
 
     total_nodes = graph.number_of_nodes()
     while simulator.metrics.reach(payload_id) < total_nodes:
-        if simulator.now >= max_time:
+        if simulator.now >= max_time or simulator.pending_events == 0:
             break
         simulator.run(until=simulator.now + config.round_interval)
 

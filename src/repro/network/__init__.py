@@ -14,6 +14,7 @@ describe — its "first simulation" of 1,000 peers — so it is built here as a
 reusable substrate.
 """
 
+from repro.network.conditions import NetworkConditions
 from repro.network.events import Event, EventQueue
 from repro.network.latency import (
     ConstantLatency,
@@ -39,6 +40,7 @@ from repro.network.topology import (
 )
 
 __all__ = [
+    "NetworkConditions",
     "Event",
     "EventQueue",
     "ConstantLatency",

@@ -1,0 +1,114 @@
+"""Shared network conditions: latency, per-link message loss and jitter.
+
+The comparative claims of the paper only hold when every protocol is
+simulated under the *same* network conditions.  Historically each runner
+picked its own latency model (the three-phase path ran on
+``ConstantLatency(0.1)`` while the baselines drew per-edge delays), which
+silently biased every timing-based comparison.  :class:`NetworkConditions`
+bundles everything environment-side — the latency model, a per-link message
+loss probability and delivery jitter — into one object that the protocol
+adapters (:mod:`repro.protocols`) thread through the
+:class:`~repro.network.simulator.Simulator`, so a flood run and a three-phase
+run can be handed literally the same conditions.
+
+Latency models may need a per-session RNG (``PerEdgeLatency`` draws its
+delays lazily), so the ``latency`` field accepts either a ready
+:class:`~repro.network.latency.LatencyModel` instance or a factory called
+with the session RNG; :meth:`NetworkConditions.build_latency` resolves both.
+
+Loss and jitter apply to overlay links only: ``direct`` sends model
+out-of-band pairwise channels (the DC-net group traffic), which are assumed
+reliable.  Randomness for loss and jitter comes from a dedicated simulator
+stream, so lossless/jitter-free conditions consume no random numbers and a
+run under ``NetworkConditions(loss_probability=0.0)`` is draw-for-draw
+identical to a run without conditions at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Union
+
+from repro.network.latency import ConstantLatency, LatencyModel, PerEdgeLatency
+
+#: Either a ready latency model (shared across sessions) or a factory taking
+#: the session RNG (for models that draw delays, like ``PerEdgeLatency``).
+LatencySpec = Union[LatencyModel, Callable[[random.Random], LatencyModel]]
+
+
+def _internet_like_latency(rng: random.Random) -> LatencyModel:
+    """The default latency: stable per-edge delays in 50–300 ms."""
+    return PerEdgeLatency(rng, 0.05, 0.3)
+
+
+@dataclass(frozen=True)
+class NetworkConditions:
+    """The environment every protocol in one experiment runs under.
+
+    Example:
+        >>> conditions = NetworkConditions(loss_probability=0.1)
+        >>> import random
+        >>> model = conditions.build_latency(random.Random(0))
+
+    Attributes:
+        latency: a :class:`LatencyModel` or a factory called with the session
+            RNG.  Defaults to internet-like stable per-edge delays.
+        loss_probability: probability that one overlay transmission is lost
+            (the receiver never sees it).  Direct/out-of-band sends are not
+            affected.
+        jitter: maximum extra delivery delay; each overlay delivery gains a
+            uniform extra delay in ``[0, jitter]``.
+    """
+
+    latency: LatencySpec = field(default=_internet_like_latency)
+    loss_probability: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError("loss probability must be in [0, 1]")
+        if self.jitter < 0.0:
+            raise ValueError("jitter must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def ideal(cls, delay: float = 0.1) -> "NetworkConditions":
+        """Lossless, jitter-free constant-latency conditions."""
+        return cls(latency=ConstantLatency(delay))
+
+    @classmethod
+    def internet_like(
+        cls,
+        low: float = 0.05,
+        high: float = 0.3,
+        loss_probability: float = 0.0,
+        jitter: float = 0.0,
+    ) -> "NetworkConditions":
+        """Stable per-edge delays in ``[low, high]`` plus optional loss/jitter."""
+        return cls(
+            latency=lambda rng: PerEdgeLatency(rng, low, high),
+            loss_probability=loss_probability,
+            jitter=jitter,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def lossy(self) -> bool:
+        """Whether these conditions can drop or delay messages randomly."""
+        return self.loss_probability > 0.0 or self.jitter > 0.0
+
+    def build_latency(self, rng: random.Random) -> LatencyModel:
+        """Resolve the latency spec into a model for one session.
+
+        A ready model instance is returned as-is (and is then shared by every
+        session built from these conditions — fine for stateless models such
+        as :class:`ConstantLatency`); a factory is called with ``rng``.
+        """
+        if isinstance(self.latency, LatencyModel):
+            return self.latency
+        return self.latency(rng)

@@ -16,6 +16,7 @@ from typing import Callable, Dict, Hashable, Iterable, List, Optional
 
 import networkx as nx
 
+from repro.network.conditions import NetworkConditions
 from repro.network.events import Event, EventQueue
 from repro.network.latency import ConstantLatency, LatencyModel
 from repro.network.message import Message, Observation
@@ -34,8 +35,13 @@ class Simulator:
 
     Args:
         graph: the overlay topology; node ids become simulator node ids.
-        latency: link latency model; defaults to one time unit per hop.
+        latency: link latency model; defaults to one time unit per hop, or to
+            the conditions' latency when ``conditions`` is given.
         seed: seed of the simulator's RNG (used by protocols for coin flips).
+        conditions: shared network conditions.  Message loss and jitter are
+            applied to every overlay send; randomness for both comes from a
+            dedicated stream (derived from ``seed``), so lossless conditions
+            leave protocol RNG consumption untouched.
     """
 
     def __init__(
@@ -43,12 +49,32 @@ class Simulator:
         graph: nx.Graph,
         latency: Optional[LatencyModel] = None,
         seed: Optional[int] = None,
+        conditions: Optional[NetworkConditions] = None,
     ) -> None:
         if graph.number_of_nodes() == 0:
             raise ValueError("the overlay graph must not be empty")
         self.graph = graph
-        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        if latency is not None:
+            self.latency = latency
+        elif conditions is not None:
+            self.latency = conditions.build_latency(
+                random.Random(None if seed is None else seed + 1)
+            )
+        else:
+            self.latency = ConstantLatency(1.0)
+        self.conditions = (
+            conditions
+            if conditions is not None
+            else NetworkConditions(latency=self.latency)
+        )
         self.rng = random.Random(seed)
+        # Dedicated stream for loss/jitter draws: keeping it separate from
+        # ``self.rng`` means enabling loss never perturbs protocol coin flips
+        # and (since it is only consumed when loss/jitter are non-zero)
+        # lossless runs stay draw-for-draw identical to pre-conditions runs.
+        self._link_rng = random.Random(
+            None if seed is None else seed + 0x5EED
+        )
         self.store = ObservationStore()
         self.metrics = MetricsCollector(store=self.store)
         self._queue = EventQueue()
@@ -56,6 +82,8 @@ class Simulator:
         self._now = 0.0
         self._started = False
         self._neighbour_cache: Dict[Hashable, List[Hashable]] = {}
+        self._dropped_total = 0
+        self._dropped_by_payload: Dict[Hashable, int] = {}
 
     # ------------------------------------------------------------------
     # Node management
@@ -119,6 +147,13 @@ class Simulator:
         Overlay sends (``direct=False``) require an edge between the two
         nodes; direct sends model out-of-band pairwise channels such as the
         DC-net group traffic and are allowed between any pair.
+
+        Overlay sends are subject to the simulator's
+        :class:`~repro.network.conditions.NetworkConditions`: with probability
+        ``loss_probability`` the transmission is dropped (counted, never
+        delivered, no observation recorded) and a uniform extra delay in
+        ``[0, jitter]`` is added to every delivery.  Direct sends model
+        reliable out-of-band channels and bypass both.
         """
         if receiver not in self._nodes:
             raise ValueError(f"receiver {receiver!r} is not registered")
@@ -127,6 +162,19 @@ class Simulator:
                 f"no overlay edge between {sender!r} and {receiver!r}"
             )
         delay = self.latency.delay(sender, receiver)
+        if not direct:
+            conditions = self.conditions
+            if (
+                conditions.loss_probability > 0.0
+                and self._link_rng.random() < conditions.loss_probability
+            ):
+                self._dropped_total += 1
+                self._dropped_by_payload[message.payload_id] = (
+                    self._dropped_by_payload.get(message.payload_id, 0) + 1
+                )
+                return
+            if conditions.jitter > 0.0:
+                delay += self._link_rng.uniform(0.0, conditions.jitter)
 
         def deliver() -> None:
             observation = Observation(
@@ -164,17 +212,25 @@ class Simulator:
 
         Returns:
             The simulated time at which execution stopped.
+
+        Clock semantics: when ``until`` is given and the run is not cut short
+        by ``max_events``, the clock always ends at ``until`` — also when the
+        event queue drains earlier.  Both exit paths therefore agree, and
+        ``run(until=...)`` loops keep advancing through idle periods instead
+        of spinning on a stuck clock.  A ``max_events`` exit leaves the clock
+        at the last executed event.
         """
         self._start_nodes()
         executed = 0
+        hit_event_limit = False
         while self._queue:
             next_time = self._queue.peek_time()
             if next_time is None:
                 break
             if until is not None and next_time > until:
-                self._now = until
                 break
             if max_events is not None and executed >= max_events:
+                hit_event_limit = True
                 break
             event = self._queue.pop()
             if event is None:
@@ -182,11 +238,30 @@ class Simulator:
             self._now = max(self._now, event.time)
             event.action()
             executed += 1
+        if until is not None and not hit_event_limit:
+            self._now = max(self._now, until)
         return self._now
 
     def run_until_idle(self, max_events: int = 10_000_000) -> float:
         """Run until no events remain (with a generous safety valve)."""
         return self.run(max_events=max_events)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (cancelled events may be counted)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Message-loss accounting
+    # ------------------------------------------------------------------
+    @property
+    def dropped_messages(self) -> int:
+        """Total overlay transmissions lost to the conditions' link loss."""
+        return self._dropped_total
+
+    def dropped_count(self, payload_id: Hashable) -> int:
+        """Transmissions of one payload lost to link loss."""
+        return self._dropped_by_payload.get(payload_id, 0)
 
     # ------------------------------------------------------------------
     # Convenience queries used by experiments

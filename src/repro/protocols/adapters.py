@@ -1,0 +1,311 @@
+"""Adapters wiring every dissemination protocol into the shared harness.
+
+Each adapter implements :class:`~repro.protocols.base.BroadcastProtocol` for
+one protocol and registers itself by name.  The adapters own the per-session
+setup that used to be inlined (and subtly inconsistent) in the experiment
+loop:
+
+* ``flood`` / ``gossip`` — populate the overlay with the respective node
+  behaviour and run one broadcast to quiescence;
+* ``dandelion`` — additionally draws the epoch's stem successors from the
+  session RNG (before any other session randomness, preserving the historic
+  draw order);
+* ``adaptive_diffusion`` — drives the unbounded diffusion with the same
+  polling loop as :func:`repro.diffusion.adaptive.run_adaptive_diffusion`,
+  bounded by ``max_time``;
+* ``three_phase`` — wraps a long-lived
+  :class:`~repro.core.orchestrator.ThreePhaseBroadcast` session
+  (``shared_session = True``: the group directory is drawn once and reused
+  across broadcasts, as the paper's deployment model intends).
+
+All adapters accept the same :class:`~repro.network.conditions.NetworkConditions`,
+so "run every protocol under identical conditions" is simply passing the
+same object to each :meth:`build`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Optional
+
+import networkx as nx
+
+from repro.broadcast.dandelion import (
+    DandelionConfig,
+    DandelionNode,
+    assign_stem_successors,
+)
+from repro.broadcast.flood import FloodNode
+from repro.broadcast.gossip import GossipConfig, GossipNode
+from repro.core.config import ProtocolConfig
+from repro.core.orchestrator import ThreePhaseBroadcast
+from repro.core.protocol import ThreePhaseNode
+from repro.diffusion.adaptive import AdaptiveDiffusionConfig, AdaptiveDiffusionNode
+from repro.network.conditions import NetworkConditions
+from repro.network.simulator import Simulator
+from repro.protocols.base import (
+    BroadcastProtocol,
+    ProtocolSession,
+    SessionBroadcast,
+)
+from repro.protocols.registry import register_protocol
+
+#: Message kinds of the adaptive-diffusion wire protocol (also reused by the
+#: three-phase protocol for its Phase 2).
+_AD_KINDS = ("ad_payload", "ad_spread", "ad_token", "ad_final")
+
+
+def _build_session(
+    protocol: BroadcastProtocol,
+    graph: nx.Graph,
+    conditions: Optional[NetworkConditions],
+    seed: Optional[int],
+    rng: Optional[random.Random] = None,
+) -> ProtocolSession:
+    """Session scaffolding shared by the per-broadcast adapters.
+
+    The latency model is built from the session RNG *after* any protocol
+    setup draws the caller performed on it (callers with setup draws pass
+    their already-used ``rng``), and the same RNG is later used by the
+    harness for botnet placement — the exact draw order of the historical
+    experiment loop.
+    """
+    conditions = conditions if conditions is not None else NetworkConditions()
+    if rng is None:
+        rng = random.Random(seed)
+    latency = conditions.build_latency(rng)
+    simulator = Simulator(graph, latency=latency, seed=seed, conditions=conditions)
+    return ProtocolSession(
+        protocol=protocol,
+        graph=graph,
+        simulator=simulator,
+        rng=rng,
+        conditions=conditions,
+        seed=seed,
+    )
+
+
+@register_protocol
+class FloodProtocol(BroadcastProtocol):
+    """Flood-and-prune: the efficiency baseline (and Phase 3 semantics)."""
+
+    name = "flood"
+    message_kinds = (FloodNode.MESSAGE_KIND,)
+
+    def __init__(self, payload_size_bytes: int = 256) -> None:
+        self.payload_size_bytes = payload_size_bytes
+
+    def build(
+        self,
+        graph: nx.Graph,
+        conditions: Optional[NetworkConditions] = None,
+        seed: Optional[int] = None,
+    ) -> ProtocolSession:
+        session = _build_session(self, graph, conditions, seed)
+        session.simulator.populate(
+            lambda node_id: FloodNode(node_id, self.payload_size_bytes)
+        )
+        return session
+
+    def broadcast(
+        self,
+        session: ProtocolSession,
+        source: Hashable,
+        payload_id: Hashable,
+    ) -> SessionBroadcast:
+        session.simulator.node(source).originate(payload_id)
+        session.simulator.run_until_idle()
+        return self._collect(session, source, payload_id)
+
+
+@register_protocol
+class GossipProtocol(BroadcastProtocol):
+    """Probabilistic gossip: the low-overhead, incomplete-delivery baseline."""
+
+    name = "gossip"
+    message_kinds = (GossipNode.MESSAGE_KIND,)
+
+    def __init__(self, config: Optional[GossipConfig] = None) -> None:
+        self.config = config or GossipConfig()
+
+    def build(
+        self,
+        graph: nx.Graph,
+        conditions: Optional[NetworkConditions] = None,
+        seed: Optional[int] = None,
+    ) -> ProtocolSession:
+        session = _build_session(self, graph, conditions, seed)
+        session.simulator.populate(
+            lambda node_id: GossipNode(node_id, self.config)
+        )
+        return session
+
+    def broadcast(
+        self,
+        session: ProtocolSession,
+        source: Hashable,
+        payload_id: Hashable,
+    ) -> SessionBroadcast:
+        session.simulator.node(source).originate(payload_id)
+        session.simulator.run_until_idle()
+        return self._collect(session, source, payload_id)
+
+
+@register_protocol
+class DandelionProtocol(BroadcastProtocol):
+    """Dandelion stem/fluff: the topological privacy baseline."""
+
+    name = "dandelion"
+    message_kinds = (DandelionNode.STEM_KIND, DandelionNode.FLUFF_KIND)
+
+    def __init__(self, config: Optional[DandelionConfig] = None) -> None:
+        self.config = config or DandelionConfig()
+
+    def build(
+        self,
+        graph: nx.Graph,
+        conditions: Optional[NetworkConditions] = None,
+        seed: Optional[int] = None,
+    ) -> ProtocolSession:
+        # Successors are drawn from the session RNG before the latency model
+        # is built — the draw order the historical experiment loop used.
+        rng = random.Random(seed)
+        successors = assign_stem_successors(graph, rng)
+        session = _build_session(self, graph, conditions, seed, rng=rng)
+        session.simulator.populate(
+            lambda node_id: DandelionNode(node_id, self.config, successors[node_id])
+        )
+        session.state["stem_successors"] = successors
+        return session
+
+    def broadcast(
+        self,
+        session: ProtocolSession,
+        source: Hashable,
+        payload_id: Hashable,
+    ) -> SessionBroadcast:
+        session.simulator.node(source).originate(payload_id)
+        session.simulator.run_until_idle()
+        return self._collect(session, source, payload_id)
+
+
+@register_protocol
+class AdaptiveDiffusionProtocol(BroadcastProtocol):
+    """Standalone adaptive diffusion (the paper's Phase 2, run alone).
+
+    With the default unbounded configuration (``max_rounds=None``) the
+    virtual-source rounds never terminate on their own, so a broadcast runs
+    in round-interval steps until the payload reached every node, the event
+    queue drained (possible under message loss, when the virtual-source
+    token is lost), or ``max_time`` simulated time units passed.
+    """
+
+    name = "adaptive_diffusion"
+    message_kinds = _AD_KINDS
+
+    def __init__(
+        self,
+        config: Optional[AdaptiveDiffusionConfig] = None,
+        max_time: float = 10_000.0,
+    ) -> None:
+        if max_time <= 0:
+            raise ValueError("max_time must be positive")
+        self.config = config or AdaptiveDiffusionConfig()
+        self.max_time = max_time
+
+    def build(
+        self,
+        graph: nx.Graph,
+        conditions: Optional[NetworkConditions] = None,
+        seed: Optional[int] = None,
+    ) -> ProtocolSession:
+        session = _build_session(self, graph, conditions, seed)
+        session.simulator.populate(
+            lambda node_id: AdaptiveDiffusionNode(node_id, self.config)
+        )
+        return session
+
+    def broadcast(
+        self,
+        session: ProtocolSession,
+        source: Hashable,
+        payload_id: Hashable,
+    ) -> SessionBroadcast:
+        simulator = session.simulator
+        simulator.node(source).originate(payload_id)
+        total = session.graph.number_of_nodes()
+        deadline = simulator.now + self.max_time
+        while simulator.metrics.reach(payload_id) < total:
+            if simulator.now >= deadline or simulator.pending_events == 0:
+                break
+            simulator.run(until=simulator.now + self.config.round_interval)
+        return self._collect(session, source, payload_id)
+
+
+@register_protocol
+class ThreePhaseProtocol(BroadcastProtocol):
+    """The paper's three-phase broadcast (DC-net → diffusion → flood).
+
+    ``shared_session = True``: one session owns the group directory and the
+    simulator, and every broadcast reuses them — matching the deployment
+    model (groups are long-lived) and the historical experiment loop.
+    """
+
+    name = "three_phase"
+    message_kinds = (ThreePhaseNode.DC_KIND,) + _AD_KINDS + (
+        ThreePhaseNode.FLOOD_KIND,
+    )
+    shared_session = True
+
+    def __init__(self, config: Optional[ProtocolConfig] = None) -> None:
+        self.config = config or ProtocolConfig()
+
+    def anonymity_floor(self) -> int:
+        """The DC-net group size: sender k-anonymity by construction."""
+        return self.config.group_size
+
+    def build(
+        self,
+        graph: nx.Graph,
+        conditions: Optional[NetworkConditions] = None,
+        seed: Optional[int] = None,
+    ) -> ProtocolSession:
+        conditions = conditions if conditions is not None else NetworkConditions()
+        system = ThreePhaseBroadcast(
+            graph, self.config, seed=seed, conditions=conditions
+        )
+        return ProtocolSession(
+            protocol=self,
+            graph=graph,
+            simulator=system.simulator,
+            # Offset so the session stream never duplicates the orchestrator's
+            # internal protocol stream (Random(seed)) — a consumer drawing
+            # botnet placement from session.rng must get draws independent of
+            # the group-directory assignment.
+            rng=random.Random(None if seed is None else seed + 3),
+            conditions=conditions,
+            seed=seed,
+            state={"system": system},
+        )
+
+    def broadcast(
+        self,
+        session: ProtocolSession,
+        source: Hashable,
+        payload_id: Hashable,
+    ) -> SessionBroadcast:
+        system: ThreePhaseBroadcast = session.state["system"]
+        payload = (
+            payload_id
+            if isinstance(payload_id, bytes)
+            else str(payload_id).encode("utf-8")
+        )
+        result = system.broadcast(source, payload, payload_id=payload_id)
+        return SessionBroadcast(
+            payload_id=payload_id,
+            source=source,
+            reach=result.reach,
+            delivered_fraction=result.delivered_fraction,
+            messages=result.messages_total,
+            completion_time=result.completion_time,
+        )

@@ -1,0 +1,153 @@
+"""The protocol-adapter interface every dissemination protocol implements.
+
+The experiment harness (:mod:`repro.analysis.experiment`) must be able to
+run *any* protocol — the paper's three-phase broadcast and every baseline —
+through one code path, under one set of
+:class:`~repro.network.conditions.NetworkConditions`.  A
+:class:`BroadcastProtocol` adapter provides exactly that surface:
+
+* :meth:`~BroadcastProtocol.build` creates a :class:`ProtocolSession` — the
+  simulator plus whatever per-session state the protocol needs (stem
+  successors, a group directory, ...), all derived from one seed;
+* :meth:`~BroadcastProtocol.broadcast` performs one broadcast inside a
+  session and returns a protocol-agnostic :class:`SessionBroadcast`;
+* :attr:`~BroadcastProtocol.message_kinds` declares the wire kinds the
+  protocol emits (what an adversary can filter on);
+* :meth:`~BroadcastProtocol.anonymity_floor` states the smallest anonymity
+  set the protocol guarantees by construction;
+* :attr:`~BroadcastProtocol.shared_session` tells the harness whether many
+  broadcasts share one session (the three-phase protocol amortises its group
+  directory) or each broadcast gets a fresh session (the baselines re-draw
+  per-run randomness, matching the historical experiment loop seed-for-seed).
+
+Concrete adapters live in :mod:`repro.protocols.adapters`; the name-based
+registry in :mod:`repro.protocols.registry`.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, Hashable, Optional, Tuple
+
+import networkx as nx
+
+from repro.network.conditions import NetworkConditions
+from repro.network.simulator import Simulator
+
+
+@dataclass
+class ProtocolSession:
+    """One runnable instance of a protocol on one overlay.
+
+    Attributes:
+        protocol: the adapter that built this session.
+        graph: the overlay the session runs on.
+        simulator: the discrete-event simulator carrying all traffic.
+        rng: the session's setup RNG.  Everything non-simulator random in the
+            session (stem successors, lazily drawn per-edge latencies) comes
+            from this stream, and the harness draws botnet placement from it
+            for per-broadcast sessions — the draw order that makes
+            registry-based runs reproduce the historical experiments.
+        conditions: the network conditions the session runs under.
+        seed: the seed the session was built from (``None`` for unseeded).
+        state: adapter-specific extras (e.g. ``"stem_successors"`` for
+            Dandelion, ``"system"`` for the three-phase orchestrator).
+    """
+
+    protocol: "BroadcastProtocol"
+    graph: nx.Graph
+    simulator: Simulator
+    rng: random.Random
+    conditions: NetworkConditions
+    seed: Optional[int] = None
+    state: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SessionBroadcast:
+    """Protocol-agnostic outcome of one broadcast.
+
+    Attributes:
+        payload_id: identifier of the broadcast payload.
+        source: the ground-truth originator.
+        reach: number of nodes that obtained the payload.
+        delivered_fraction: ``reach`` divided by the overlay size.
+        messages: messages delivered for this payload (per the protocol's own
+            accounting; dropped transmissions are never counted).
+        completion_time: simulated time the last node was reached, or
+            ``None`` when the broadcast did not reach everyone.
+    """
+
+    payload_id: Hashable
+    source: Hashable
+    reach: int
+    delivered_fraction: float
+    messages: int
+    completion_time: Optional[float]
+
+
+class BroadcastProtocol(abc.ABC):
+    """Adapter interface run by the registry-based experiment harness."""
+
+    #: Registry name of the protocol (set by concrete adapters).
+    name: ClassVar[str] = ""
+    #: Message kinds the protocol emits on the wire.
+    message_kinds: ClassVar[Tuple[str, ...]] = ()
+    #: Whether many broadcasts share one session (see module docstring).
+    shared_session: ClassVar[bool] = False
+
+    def anonymity_floor(self) -> int:
+        """Smallest anonymity set guaranteed by construction (default 1)."""
+        return 1
+
+    @abc.abstractmethod
+    def build(
+        self,
+        graph: nx.Graph,
+        conditions: Optional[NetworkConditions] = None,
+        seed: Optional[int] = None,
+    ) -> ProtocolSession:
+        """Create a session for ``graph`` under ``conditions``."""
+
+    @abc.abstractmethod
+    def broadcast(
+        self,
+        session: ProtocolSession,
+        source: Hashable,
+        payload_id: Hashable,
+    ) -> SessionBroadcast:
+        """Broadcast one payload from ``source`` and run it to quiescence."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers for concrete adapters
+    # ------------------------------------------------------------------
+    def _collect(
+        self,
+        session: ProtocolSession,
+        source: Hashable,
+        payload_id: Hashable,
+        messages: Optional[int] = None,
+    ) -> SessionBroadcast:
+        """Assemble a :class:`SessionBroadcast` from the session's metrics."""
+        metrics = session.simulator.metrics
+        total = session.graph.number_of_nodes()
+        reach = metrics.reach(payload_id)
+        return SessionBroadcast(
+            payload_id=payload_id,
+            source=source,
+            reach=reach,
+            delivered_fraction=reach / total,
+            messages=(
+                metrics.message_count(payload_id=payload_id)
+                if messages is None
+                else messages
+            ),
+            completion_time=(
+                metrics.completion_time(payload_id) if reach == total else None
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

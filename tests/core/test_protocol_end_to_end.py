@@ -94,6 +94,21 @@ class TestThreePhaseBroadcast:
         assert a.messages_total == b.messages_total
         assert a.virtual_source == b.virtual_source
 
+    def test_auto_payload_ids_are_instance_local(self, overlay):
+        """Auto-generated ids must not depend on process-global history.
+
+        Two identically constructed systems hand out the same id sequence —
+        the replayability property parallel sweeps rely on (a module-level
+        counter would make ids depend on what else ran in the process).
+        """
+        first = make_protocol(overlay, seed=3)
+        second = make_protocol(overlay, seed=3)
+        result_a = first.broadcast(source=0, payload=b"tx")
+        result_b = second.broadcast(source=0, payload=b"tx")
+        assert result_a.payload_id == "payload-0"
+        assert result_b.payload_id == "payload-0"
+        assert first.broadcast(source=1, payload=b"tx2").payload_id == "payload-1"
+
 
 class TestThreePhasePrivacy:
     def test_first_spy_rarely_identifies_source(self, overlay):

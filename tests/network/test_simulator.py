@@ -145,6 +145,42 @@ class TestScheduling:
         sim.run(max_events=2)
         assert fired == [0, 1]
 
+    def test_run_until_advances_clock_when_queue_drains_early(self):
+        """Both exit paths of run(until=...) leave the clock at ``until``."""
+        sim = build_sim()
+        sim.schedule(1.0, lambda: None)
+        assert sim.run(until=5.0) == 5.0
+        assert sim.now == 5.0
+        # An empty queue still advances the clock, so run(until=...) loops
+        # make progress through idle periods instead of spinning.
+        assert sim.run(until=9.0) == 9.0
+        assert sim.now == 9.0
+
+    def test_run_until_never_moves_clock_backwards(self):
+        sim = build_sim()
+        sim.schedule(4.0, lambda: None)
+        sim.run_until_idle()
+        assert sim.now == 4.0
+        assert sim.run(until=2.0) == 4.0
+
+    def test_run_max_events_exit_does_not_jump_to_until(self):
+        sim = build_sim()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(until=10.0, max_events=2)
+        assert fired == [0, 1]
+        assert sim.now == 2.0
+
+    def test_pending_events_counts_queue(self):
+        sim = build_sim()
+        assert sim.pending_events == 0
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        sim.run_until_idle()
+        assert sim.pending_events == 0
+
     def test_on_start_called_once(self):
         class StartCounting(EchoNode):
             starts = 0

@@ -1,0 +1,179 @@
+"""Tests for NetworkConditions: loss, jitter, and their simulator threading."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.experiment import run_attack_experiment
+from repro.diffusion.adaptive import AdaptiveDiffusionConfig
+from repro.network import ConstantLatency, NetworkConditions, PerEdgeLatency, Simulator
+from repro.network.message import Message
+from repro.network.node import Node
+from repro.network.topology import random_regular_overlay
+from repro.protocols import available_protocols, create_protocol
+
+
+class SilentNode(Node):
+    """Receives and records; never forwards."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append((self.now, sender, message))
+
+
+class TestConditionsValidation:
+    def test_loss_probability_range(self):
+        with pytest.raises(ValueError):
+            NetworkConditions(loss_probability=-0.1)
+        with pytest.raises(ValueError):
+            NetworkConditions(loss_probability=1.5)
+        assert NetworkConditions(loss_probability=1.0).loss_probability == 1.0
+
+    def test_jitter_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            NetworkConditions(jitter=-1.0)
+
+    def test_lossy_flag(self):
+        assert not NetworkConditions().lossy
+        assert NetworkConditions(loss_probability=0.1).lossy
+        assert NetworkConditions(jitter=0.5).lossy
+
+    def test_build_latency_returns_instance_as_is(self):
+        import random
+
+        model = ConstantLatency(0.2)
+        conditions = NetworkConditions(latency=model)
+        assert conditions.build_latency(random.Random(0)) is model
+
+    def test_build_latency_calls_factory_with_rng(self):
+        import random
+
+        conditions = NetworkConditions.internet_like(low=0.01, high=0.02)
+        model = conditions.build_latency(random.Random(0))
+        assert isinstance(model, PerEdgeLatency)
+        assert 0.01 <= model.delay(0, 1) <= 0.02
+
+
+class TestSimulatorThreading:
+    def _pair_sim(self, conditions, seed=0):
+        sim = Simulator(
+            nx.path_graph(2),
+            latency=ConstantLatency(1.0),
+            seed=seed,
+            conditions=conditions,
+        )
+        sim.populate(SilentNode)
+        return sim
+
+    def test_total_loss_drops_every_overlay_send(self):
+        sim = self._pair_sim(NetworkConditions(loss_probability=1.0))
+        for _ in range(5):
+            sim.send(0, 1, Message(kind="m", payload_id="tx"))
+        sim.run_until_idle()
+        assert sim.node(1).received == []
+        assert sim.dropped_messages == 5
+        assert sim.dropped_count("tx") == 5
+        assert sim.metrics.message_count(payload_id="tx") == 0
+
+    def test_direct_sends_bypass_loss(self):
+        sim = self._pair_sim(NetworkConditions(loss_probability=1.0))
+        sim.send(0, 1, Message(kind="m", payload_id="tx"), direct=True)
+        sim.run_until_idle()
+        assert len(sim.node(1).received) == 1
+        assert sim.dropped_messages == 0
+
+    def test_jitter_adds_bounded_extra_delay(self):
+        sim = self._pair_sim(NetworkConditions(jitter=3.0), seed=4)
+        for _ in range(10):
+            sim.send(0, 1, Message(kind="m", payload_id="tx"))
+        sim.run_until_idle()
+        arrival_times = [time for time, _, _ in sim.node(1).received]
+        assert len(arrival_times) == 10
+        assert all(1.0 <= time <= 4.0 for time in arrival_times)
+        assert max(arrival_times) > 1.0  # some jitter was actually drawn
+
+    def test_lossless_conditions_leave_runs_identical(self):
+        """Zero loss/jitter consumes no randomness: same run as without."""
+
+        def flood_reach(conditions):
+            from repro.protocols import create_protocol
+
+            graph = random_regular_overlay(20, degree=4, seed=2)
+            proto = create_protocol("dandelion")
+            session = proto.build(graph, conditions, seed=6)
+            return proto.broadcast(session, 0, "tx")
+
+        plain = flood_reach(NetworkConditions(latency=ConstantLatency(0.1)))
+        lossless = flood_reach(
+            NetworkConditions(
+                latency=ConstantLatency(0.1), loss_probability=0.0, jitter=0.0
+            )
+        )
+        assert plain == lossless
+
+    def test_loss_is_seed_deterministic(self):
+        def run(seed):
+            sim = self._pair_sim(
+                NetworkConditions(loss_probability=0.5), seed=seed
+            )
+            for index in range(20):
+                sim.send(0, 1, Message(kind="m", payload_id=f"tx-{index}"))
+            sim.run_until_idle()
+            return [message.payload_id for _, _, message in sim.node(1).received]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+
+def _registry_protocol(name):
+    """Protocol instances bounded enough for lossy-loop tests."""
+    if name == "adaptive_diffusion":
+        return create_protocol(
+            name,
+            config=AdaptiveDiffusionConfig(max_rounds=8),
+            max_time=200.0,
+        )
+    return create_protocol(name)
+
+
+class TestLossDegradesReach:
+    @pytest.mark.parametrize("name", available_protocols())
+    def test_reach_degrades_monotonically_with_loss(self, name):
+        """More link loss never helps delivery, for every registered protocol."""
+        overlay = random_regular_overlay(24, degree=4, seed=9)
+        reaches = []
+        for loss in (0.0, 0.35, 0.85):
+            conditions = NetworkConditions(
+                latency=ConstantLatency(0.1), loss_probability=loss
+            )
+            result = run_attack_experiment(
+                overlay,
+                _registry_protocol(name),
+                adversary_fraction=0.1,
+                broadcasts=4,
+                seed=11,
+                conditions=conditions,
+            )
+            reaches.append(result.mean_reach)
+        assert reaches[0] >= reaches[1] >= reaches[2]
+        # Lossless delivery is (near-)complete; heavy loss visibly hurts.
+        assert reaches[0] >= 0.9
+        assert reaches[2] < reaches[0]
+
+    def test_three_phase_keeps_group_reach_under_total_loss(self):
+        """The DC-net phase uses reliable channels: the group always learns."""
+        overlay = random_regular_overlay(20, degree=4, seed=3)
+        conditions = NetworkConditions(
+            latency=ConstantLatency(0.1), loss_probability=1.0
+        )
+        from repro.core.config import ProtocolConfig
+
+        proto = create_protocol(
+            "three_phase", config=ProtocolConfig(group_size=4)
+        )
+        session = proto.build(overlay, conditions, seed=5)
+        outcome = proto.broadcast(session, 0, "tx-loss")
+        assert outcome.reach >= 4  # at least the DC-net group
+        assert outcome.delivered_fraction < 1.0
