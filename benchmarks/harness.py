@@ -1,0 +1,355 @@
+"""Tracked wall-clock benchmark harness behind ``scripts/bench.py``.
+
+The pytest-benchmark files in this directory guard *shape* properties of the
+reproduction; this module is the other half of the performance story: a
+dependency-free harness that times the E-series hot paths the same way on
+every machine, writes the numbers to a ``BENCH_<label>.json`` report, and
+compares reports so a regression in events/sec is caught as a number, not a
+feeling.
+
+Design points:
+
+* **Scenarios** pair an untimed ``setup`` (building overlays, encoding
+  frames) with a timed ``run`` returning the number of simulated events it
+  processed, so ``events/sec`` measures engine throughput, not scenario
+  construction.
+* **Warmup + median**: every scenario runs ``warmup`` throwaway iterations
+  (heating allocator, caches and lazily-built latency tables), then the
+  median of ``repeats`` timed iterations is reported — robust against a
+  single noisy run.
+* **Calibration**: each report stores the throughput of a fixed pure-Python
+  spin loop measured at report time.  Comparisons divide events/sec by it,
+  which removes most of the machine-to-machine CPU difference, so a report
+  produced on one machine remains a usable baseline on another (and is
+  exact on the same machine).
+* **Peak RSS** comes from ``resource.getrusage`` — memory regressions of
+  the event core show up next to the time regressions.
+
+The harness deliberately imports nothing outside the standard library plus
+``repro`` itself, so ``scripts/bench.py --src <tree>`` can aim the very same
+harness at an older source tree for before/after tables.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+import resource
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "calibrate",
+    "compare_reports",
+    "dcnet_round_scenario",
+    "flood_scenario",
+    "peak_rss_kib",
+    "run_scenario",
+    "run_suite",
+    "scenario_names",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One benchmark scenario: untimed setup, timed run, event count.
+
+    Attributes:
+        name: stable identifier; reports are compared per name.
+        description: one line for tables and logs.
+        setup: builds the scenario context (overlays, frames); not timed.
+        run: executes the measured workload on the context and returns the
+            number of simulated events it processed.
+        smoke: whether the scenario is part of the quick ``--smoke`` set.
+    """
+
+    name: str
+    description: str
+    setup: Callable[[], Any]
+    run: Callable[[Any], int]
+    smoke: bool = False
+
+
+def flood_scenario(
+    name: str,
+    size: int,
+    degree: int = 8,
+    overlay_seed: int = 9,
+    run_seed: int = 0,
+    smoke: bool = False,
+) -> Scenario:
+    """Flood-and-prune broadcast on a ``size``-node random-regular overlay.
+
+    Events are the deliveries the engine performed (the observation log
+    length), i.e. exactly the per-event work of ``Simulator.run``.
+    """
+
+    def setup() -> Any:
+        from repro.network.topology import random_regular_overlay
+
+        return random_regular_overlay(size, degree=degree, seed=overlay_seed)
+
+    def run(overlay: Any) -> int:
+        from repro.broadcast.flood import run_flood
+
+        result = run_flood(overlay, source=0, seed=run_seed)
+        return len(result.simulator.store)
+
+    return Scenario(
+        name=name,
+        description=f"E11 flood-and-prune broadcast, {size:,} peers "
+        f"(degree {degree})",
+        setup=setup,
+        run=run,
+        smoke=smoke,
+    )
+
+
+def dcnet_round_scenario(
+    name: str,
+    frame_length: int = 1024,
+    group_size: int = 8,
+    rounds: int = 5,
+    smoke: bool = False,
+) -> Scenario:
+    """DC-net rounds (Fig. 4) at ``frame_length``-byte frames.
+
+    Events are the point-to-point share transmissions: ``3·k·(k−1)`` per
+    round.  The XOR kernels dominate, so this scenario tracks the
+    ``crypto/pads.py`` fast path.
+    """
+
+    def setup() -> Any:
+        from repro.dcnet.collision import encode_payload
+
+        group = list(range(group_size))
+        frame = encode_payload(
+            b"one anonymous blockchain transaction", frame_length
+        )
+        return group, frame
+
+    def run(context: Any) -> int:
+        from repro.dcnet.round import run_round
+
+        group, frame = context
+        rng = random.Random(0)
+        events = 0
+        for _ in range(rounds):
+            result = run_round(group, {3: frame}, frame_length, rng)
+            events += result.messages_sent
+        return events
+
+    return Scenario(
+        name=name,
+        description=f"E6 DC-net round, {frame_length} B frames, "
+        f"group of {group_size}, {rounds} rounds",
+        setup=setup,
+        run=run,
+        smoke=smoke,
+    )
+
+
+#: The tracked scenario suite.  ``--smoke`` runs the marked subset.
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        dcnet_round_scenario("e6_dcnet_round_1kib", smoke=True),
+        flood_scenario("e1_flood_1000", size=1000, smoke=True),
+        flood_scenario("e11_flood_2000", size=2000, smoke=True),
+        flood_scenario("e11_flood_5000", size=5000),
+    )
+}
+
+
+def scenario_names(smoke_only: bool = False) -> List[str]:
+    """Names of the tracked scenarios (optionally only the smoke set)."""
+    return [
+        name
+        for name, scenario in SCENARIOS.items()
+        if scenario.smoke or not smoke_only
+    ]
+
+
+def peak_rss_kib() -> int:
+    """Peak resident set size of this process in KiB (Linux semantics).
+
+    ``ru_maxrss`` is the process-lifetime high-water mark — it never goes
+    back down — so a scenario's reported value is an *upper bound* set by
+    the largest scenario run so far in the process.  The tracked suite runs
+    scenarios in ascending footprint order, which makes the bound tight for
+    each suite's biggest scenarios; for exact per-scenario numbers run one
+    scenario per process (``scripts/bench.py --scenarios <name>``).
+    """
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def calibrate(loops: int = 3, inner: int = 200_000) -> float:
+    """Machine speed reference: iterations/sec of a fixed pure-Python loop.
+
+    Comparing ``events_per_second / calibration`` across two reports
+    cancels most raw-CPU differences between the machines that produced
+    them; on one machine the ratio test is identical to comparing raw
+    events/sec.
+    """
+    best = float("inf")
+    for _ in range(loops):
+        accumulator = 0
+        start = time.perf_counter()
+        for i in range(inner):
+            accumulator += i ^ (i >> 3)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return inner / best
+
+
+def run_scenario(
+    scenario: Scenario, repeats: int = 5, warmup: int = 1
+) -> Dict[str, Any]:
+    """Measure one scenario: median wall-clock, events/sec, peak RSS.
+
+    The event count must be identical across repeats (scenarios are seeded
+    and deterministic); a drift would mean the scenario is not measuring
+    what it claims, so it fails loudly.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    context = scenario.setup()
+    for _ in range(warmup):
+        scenario.run(context)
+    seconds: List[float] = []
+    events: Optional[int] = None
+    for _ in range(repeats):
+        # Simulator/node graphs are cyclic; collecting them *outside* the
+        # timed region keeps one repeat's garbage from slowing the next and
+        # makes repeats independent of how many scenarios ran before.
+        gc.collect()
+        start = time.perf_counter()
+        run_events = scenario.run(context)
+        seconds.append(time.perf_counter() - start)
+        if events is None:
+            events = run_events
+        elif events != run_events:
+            raise RuntimeError(
+                f"scenario {scenario.name!r} is not deterministic: "
+                f"{events} events, then {run_events}"
+            )
+    assert events is not None
+    median_seconds = statistics.median(seconds)
+    return {
+        "description": scenario.description,
+        "repeats": repeats,
+        "warmup": warmup,
+        "events": events,
+        "median_seconds": median_seconds,
+        "min_seconds": min(seconds),
+        "events_per_second": events / median_seconds,
+        "peak_rss_kib": peak_rss_kib(),
+    }
+
+
+def run_suite(
+    names: Sequence[str],
+    repeats: int = 5,
+    warmup: int = 1,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Run the named scenarios and assemble a report dictionary.
+
+    The report is what ``scripts/bench.py`` serialises to
+    ``BENCH_<label>.json``: a ``meta`` block (environment + calibration) and
+    one result block per scenario.
+    """
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise KeyError(f"unknown scenarios: {unknown}")
+    import platform
+    import sys
+
+    report_meta: Dict[str, Any] = {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        # Generation time, embedded in the report: file mtimes are reset by
+        # checkouts, so baseline auto-selection orders reports by this.
+        "created_at": time.time(),
+        "calibration_ops_per_second": calibrate(),
+    }
+    if meta:
+        report_meta.update(meta)
+    results = {
+        name: run_scenario(SCENARIOS[name], repeats=repeats, warmup=warmup)
+        for name in names
+    }
+    return {"meta": report_meta, "results": results}
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    current: Dict[str, Any],
+    max_regression: float = 0.25,
+) -> List[Dict[str, Any]]:
+    """Compare two reports scenario by scenario.
+
+    Throughput is normalised by each report's calibration number before
+    comparing (see :func:`calibrate`).  A scenario regresses when its
+    normalised events/sec drops by more than ``max_regression`` (fraction,
+    e.g. ``0.25`` = 25 %).  Scenarios present in only one report are
+    reported as ``"missing"`` and never fail the comparison.
+
+    Returns one entry per scenario in the union of both reports::
+
+        {"name", "status" ("ok"|"regression"|"improvement"|"missing"),
+         "speedup", "baseline_eps", "current_eps"}
+
+    where ``speedup`` is normalised current ÷ normalised baseline.
+    """
+    if not 0.0 <= max_regression < 1.0:
+        raise ValueError("max_regression must be in [0, 1)")
+    baseline_calibration = float(
+        baseline["meta"].get("calibration_ops_per_second", 1.0)
+    )
+    current_calibration = float(
+        current["meta"].get("calibration_ops_per_second", 1.0)
+    )
+    entries: List[Dict[str, Any]] = []
+    names = list(
+        dict.fromkeys(
+            list(baseline["results"]) + list(current["results"])
+        )
+    )
+    for name in names:
+        base = baseline["results"].get(name)
+        cur = current["results"].get(name)
+        if base is None or cur is None:
+            entries.append(
+                {
+                    "name": name,
+                    "status": "missing",
+                    "speedup": None,
+                    "baseline_eps": base and base["events_per_second"],
+                    "current_eps": cur and cur["events_per_second"],
+                }
+            )
+            continue
+        base_normalised = base["events_per_second"] / baseline_calibration
+        cur_normalised = cur["events_per_second"] / current_calibration
+        speedup = cur_normalised / base_normalised
+        if speedup < 1.0 - max_regression:
+            status = "regression"
+        elif speedup > 1.0 + max_regression:
+            status = "improvement"
+        else:
+            status = "ok"
+        entries.append(
+            {
+                "name": name,
+                "status": status,
+                "speedup": speedup,
+                "baseline_eps": base["events_per_second"],
+                "current_eps": cur["events_per_second"],
+            }
+        )
+    return entries

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Run the tracked benchmark suite and record/compare ``BENCH_*.json``.
+
+The perf trajectory of this repository lives in ``benchmarks/results/``:
+every engine-relevant change runs this script, which times the E-series hot
+paths through ``benchmarks/harness.py``, writes ``BENCH_<label>.json`` and
+compares the numbers against a baseline report, failing (exit code 1) when
+any scenario's calibrated events/sec regressed beyond the threshold.
+
+Typical uses::
+
+    # full suite, label derived from the git revision, compare to the
+    # newest existing report in benchmarks/results/
+    python scripts/bench.py
+
+    # quick CI gate against the committed baseline
+    python scripts/bench.py --smoke --label ci \
+        --baseline benchmarks/results/BENCH_fastpath.json
+
+    # measure an older source tree with the *same* harness (before/after)
+    python scripts/bench.py --src /path/to/old/src --label pre-fastpath
+
+No third-party dependencies beyond what ``repro`` itself needs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT_DIR = REPO_ROOT / "benchmarks" / "results"
+
+
+def _git_label() -> str:
+    """Default report label: short revision, ``-dirty`` when modified."""
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        return f"{rev}-dirty" if dirty else rev
+    except (OSError, subprocess.CalledProcessError):
+        return "local"
+
+
+def _report_age(path: Path) -> float:
+    """When a report was generated: embedded meta timestamp, mtime fallback.
+
+    File mtimes all collapse to checkout time on a fresh clone, which would
+    make "newest report" arbitrary; the ``created_at`` the harness embeds
+    at generation time survives the checkout.
+    """
+    try:
+        with open(path) as handle:
+            return float(json.load(handle)["meta"]["created_at"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return path.stat().st_mtime
+
+
+def _latest_report(output_dir: Path, exclude: Path) -> Optional[Path]:
+    """Newest ``BENCH_*.json`` in ``output_dir`` other than ``exclude``."""
+    candidates = [
+        path
+        for path in sorted(
+            output_dir.glob("BENCH_*.json"),
+            key=_report_age,
+            reverse=True,
+        )
+        if path.resolve() != exclude.resolve()
+    ]
+    return candidates[0] if candidates else None
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run only the quick smoke subset of scenarios",
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        metavar="NAME",
+        help="explicit scenario names (overrides --smoke selection)",
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--warmup", type=int, default=1)
+    parser.add_argument(
+        "--label",
+        default=None,
+        help="report label; file becomes BENCH_<label>.json "
+        "(default: git short revision)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=DEFAULT_OUTPUT_DIR,
+        help="where reports live (default: benchmarks/results/)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline report to compare against "
+        "(default: newest other BENCH_*.json in the output dir)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="fail when calibrated events/sec drops more than this "
+        "fraction (default: 0.25)",
+    )
+    parser.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the baseline comparison entirely",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="measure and compare without writing a report file",
+    )
+    parser.add_argument(
+        "--src",
+        type=Path,
+        default=None,
+        help="measure this source tree instead of the repository's src/ "
+        "(before/after comparisons with one harness)",
+    )
+    args = parser.parse_args(argv)
+
+    src = (args.src or (REPO_ROOT / "src")).resolve()
+    sys.path.insert(0, str(src))
+    sys.path.insert(0, str(REPO_ROOT))  # for benchmarks.harness
+    from benchmarks import harness
+
+    if args.scenarios:
+        names = args.scenarios
+    else:
+        names = harness.scenario_names(smoke_only=args.smoke)
+
+    label = args.label or _git_label()
+    print(f"# bench: scenarios={names} label={label} src={src}")
+    report = harness.run_suite(
+        names,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        meta={"label": label, "source_tree": str(src)},
+    )
+
+    for name in names:
+        result = report["results"][name]
+        print(
+            f"{name:24s} {result['median_seconds'] * 1000:10.1f} ms median  "
+            f"{result['events_per_second']:12,.0f} events/s  "
+            f"rss {result['peak_rss_kib'] / 1024:.0f} MiB"
+        )
+
+    output_path = args.output_dir / f"BENCH_{label}.json"
+    if not args.no_write:
+        os.makedirs(args.output_dir, exist_ok=True)
+        with open(output_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote {output_path.relative_to(Path.cwd())}"
+              if output_path.is_relative_to(Path.cwd())
+              else f"# wrote {output_path}")
+
+    if args.no_compare:
+        return 0
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = _latest_report(args.output_dir, exclude=output_path)
+        if baseline_path is None:
+            print("# no baseline report found; comparison skipped")
+            return 0
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    print(f"# baseline: {baseline_path}")
+
+    failed = False
+    for entry in harness.compare_reports(
+        baseline, report, max_regression=args.max_regression
+    ):
+        if entry["status"] == "missing":
+            print(f"{entry['name']:24s} missing from one report; skipped")
+            continue
+        marker = {
+            "ok": " ",
+            "improvement": "+",
+            "regression": "!",
+        }[entry["status"]]
+        print(
+            f"{entry['name']:24s} {marker} {entry['speedup']:.2f}x "
+            f"calibrated vs baseline "
+            f"({entry['baseline_eps']:,.0f} -> {entry['current_eps']:,.0f} "
+            f"raw events/s)"
+        )
+        if entry["status"] == "regression":
+            failed = True
+    if failed:
+        print(
+            f"# FAIL: regression beyond {args.max_regression:.0%} "
+            "of calibrated events/sec"
+        )
+        return 1
+    print("# OK: no scenario regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

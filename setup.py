@@ -16,6 +16,8 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.9",
+    # dataclass(slots=True) on the hot-path records needs 3.10 (also the
+    # oldest version CI tests).
+    python_requires=">=3.10",
     install_requires=["networkx>=2.6", "numpy>=1.21"],
 )

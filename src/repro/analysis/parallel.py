@@ -23,6 +23,16 @@ every existing runner already satisfies.  The pool is only used on Linux
 (the one platform where fork-without-exec is dependable); on other platforms
 — or with ``processes=1`` — the engine transparently degrades to the serial
 path, producing identical results.
+
+Scheduling is built for throughput: tasks are streamed to the workers with
+``imap_unordered`` in chunks (one IPC round-trip per chunk instead of per
+run, and no head-of-line blocking on a slow run the way ``pool.map``'s
+ordered collection has), and the pool itself is kept alive on the
+:class:`ParallelSweep` instance, so consecutive ``run()`` calls — e.g. one
+per sweep point of an outer scan — reuse the forked workers instead of
+re-paying pool start-up per call.  Results are re-ordered by task index
+after collection, so the seed-for-seed equality with ``sweep()`` is
+unaffected by the unordered arrival.
 """
 
 from __future__ import annotations
@@ -30,8 +40,8 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.sweep import (
     ParameterValue,
@@ -76,11 +86,34 @@ class ParallelSweep:
             ``sweep()``'s).
         processes: worker process count; defaults to the machine's CPU count,
             capped at the number of runs.  ``1`` forces the serial path.
+        chunk_size: tasks handed to a worker per IPC round-trip; defaults to
+            ``len(tasks) // (workers * 4)`` (at least 1), which keeps every
+            worker busy while bounding the scheduling overhead.
+
+    The worker pool persists across ``run()`` calls with the same runner and
+    worker count, so repeated sweeps amortise the fork cost; call
+    :meth:`close` (or use the instance as a context manager) to release the
+    workers when done.  Reuse implies fork-snapshot semantics: workers see
+    the process state as it was when the pool was first forked, so state a
+    runner reads from its enclosing scope or module globals must not change
+    between ``run()`` calls — mutate it only after a :meth:`close` (the next
+    ``run()`` then forks fresh workers).  Runner *inputs* that change per
+    call (values, seeds) are unaffected; they travel through the task queue.
     """
 
     repetitions: int = 3
     base_seed: int = 0
     processes: Optional[int] = None
+    chunk_size: Optional[int] = None
+    _pool: Optional[Any] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _pool_runner: Optional[SweepRunner] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _pool_workers: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
 
     def run(
         self,
@@ -140,16 +173,71 @@ class ParallelSweep:
             or "fork" not in multiprocessing.get_all_start_methods()
         ):
             return [runner(value, seed) for _, value, seed in tasks]
-        context = multiprocessing.get_context("fork")
-        with context.Pool(
-            processes=workers, initializer=_init_worker, initargs=(runner,)
-        ) as pool:
-            indexed = pool.map(_execute_task, tasks)
+        pool = self._ensure_pool(workers, runner)
+        chunk = self.chunk_size
+        if chunk is None:
+            chunk = max(1, len(tasks) // (workers * 4))
         runs: List[Optional[Dict[str, float]]] = [None] * len(tasks)
-        for task_index, metrics in indexed:
-            runs[task_index] = metrics
+        try:
+            for task_index, metrics in pool.imap_unordered(
+                _execute_task, tasks, chunksize=chunk
+            ):
+                runs[task_index] = metrics
+        except BaseException:
+            # A failed worker leaves the pool in an undefined state; discard
+            # it so the next run() starts from a fresh fork.
+            self.close()
+            raise
         assert all(run is not None for run in runs)
         return runs  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, workers: int, runner: SweepRunner) -> Any:
+        """Return a live pool for ``runner``, reusing the previous one.
+
+        The runner reaches the workers through fork inheritance at pool
+        start-up, so a pool is only reusable for the *same* runner object
+        (and worker count); anything else forks a fresh pool.
+        """
+        if (
+            self._pool is not None
+            and self._pool_runner is runner
+            and self._pool_workers == workers
+        ):
+            return self._pool
+        self.close()
+        context = multiprocessing.get_context("fork")
+        self._pool = context.Pool(
+            processes=workers, initializer=_init_worker, initargs=(runner,)
+        )
+        self._pool_runner = runner
+        self._pool_workers = workers
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the cached worker pool (idempotent)."""
+        pool = self._pool
+        if pool is None:
+            return
+        self._pool = None
+        self._pool_runner = None
+        self._pool_workers = 0
+        pool.terminate()
+        pool.join()
+
+    def __enter__(self) -> "ParallelSweep":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-exit path
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 def run_parallel(
@@ -171,6 +259,11 @@ def run_parallel(
     Returns:
         The same list of aggregated dictionaries ``sweep`` would return.
     """
-    return ParallelSweep(
+    engine = ParallelSweep(
         repetitions=repetitions, base_seed=base_seed, processes=processes
-    ).run(values, runner)
+    )
+    try:
+        return engine.run(values, runner)
+    finally:
+        # One-shot entry point: nothing will reuse the pool, release it.
+        engine.close()

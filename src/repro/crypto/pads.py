@@ -3,8 +3,24 @@
 Step 1 of the DC-net round (Fig. 4 of the paper) requires every member to
 generate ``k`` random pads ``r_1 ... r_k`` of length ``n`` such that their
 XOR equals the member's message (or the all-zero message when the member has
-nothing to send).  These helpers implement the byte-level XOR arithmetic and
-the share splitting used by :mod:`repro.dcnet`.
+nothing to send).  These helpers implement the XOR arithmetic and the share
+splitting used by :mod:`repro.dcnet`.
+
+Implementation note — the kernels run on Python big integers, not byte
+loops: a whole frame is one ``int.from_bytes``/``to_bytes`` round-trip and
+one CPU-side XOR, which turns the per-byte interpreter loop (the dominant
+cost of a DC-net round at kibibyte frame sizes) into a few C-level calls.
+The byte-loop reference implementations live on as golden oracles in
+``tests/property/test_kernel_equivalence.py``.
+
+RNG stream change (documented, intentional): :func:`random_pad` draws each
+pad as a *single* ``getrandbits(8 * n)`` call instead of ``n`` separate
+``getrandbits(8)`` calls.  Pads are still uniform and deterministic per
+seed, but a given seed now yields different pad bytes than the pre-fast-path
+byte-at-a-time generator did, so any expectation pinned to exact pad bytes
+of a seed had to be re-derived once (none of the repository's tests pinned
+such bytes; determinism and recombination properties are unchanged and
+remain under test).
 """
 
 from __future__ import annotations
@@ -29,23 +45,29 @@ def xor_bytes(*operands: bytes) -> bytes:
     if not operands:
         raise ValueError("xor_bytes needs at least one operand")
     length = len(operands[0])
+    accumulator = 0
     for op in operands:
         if len(op) != length:
             raise ValueError(
                 f"all operands must have the same length, got {len(op)} != {length}"
             )
-    result = bytearray(length)
-    for op in operands:
-        for i, byte in enumerate(op):
-            result[i] ^= byte
-    return bytes(result)
+        accumulator ^= int.from_bytes(op, "big")
+    return accumulator.to_bytes(length, "big")
 
 
 def random_pad(rng: random.Random, length: int) -> bytes:
-    """Generate a uniformly random pad of ``length`` bytes."""
+    """Generate a uniformly random pad of ``length`` bytes.
+
+    One ``getrandbits(8 * length)`` draw per pad (see the module docstring
+    for the resulting RNG-stream change versus the byte-at-a-time reference).
+    """
     if length < 0:
         raise ValueError("length must be non-negative")
-    return bytes(rng.getrandbits(8) for _ in range(length))
+    if length == 0:
+        # getrandbits(0) is a ValueError before Python 3.11, and the
+        # byte-at-a-time reference drew nothing for empty pads either.
+        return b""
+    return rng.getrandbits(length * 8).to_bytes(length, "big")
 
 
 def split_into_shares(
@@ -65,9 +87,19 @@ def split_into_shares(
         raise ValueError("the number of shares must be positive")
     if count == 1:
         return [bytes(message)]
-    shares = [random_pad(rng, len(message)) for _ in range(count - 1)]
-    last = xor_bytes(message, *shares) if shares else bytes(message)
-    shares.append(last)
+    length = len(message)
+    if length == 0:
+        # No bits to draw (getrandbits(0) raises before Python 3.11); the
+        # reference behaviour for empty frames is empty shares, no draws.
+        return [b""] * count
+    bits = length * 8
+    accumulator = int.from_bytes(message, "big")
+    shares: List[bytes] = []
+    for _ in range(count - 1):
+        pad = rng.getrandbits(bits)
+        accumulator ^= pad
+        shares.append(pad.to_bytes(length, "big"))
+    shares.append(accumulator.to_bytes(length, "big"))
     return shares
 
 

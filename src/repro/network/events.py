@@ -3,19 +3,34 @@
 Events are ordered by simulated time, with a monotonically increasing
 sequence number as a tie-breaker so that events scheduled earlier run earlier
 when timestamps collide.  This makes simulations fully deterministic.
+
+The queue is the hottest data structure of the whole library, so it is built
+for allocation economy: heap entries are plain ``(time, sequence, item)``
+tuples (one small tuple per entry instead of an order-compared dataclass),
+and only :meth:`EventQueue.push` — the cancellable path used by
+``Simulator.schedule`` — allocates an :class:`Event` handle.  The
+simulator's message deliveries go through :meth:`EventQueue.push_item`,
+which stores an arbitrary payload with no per-event handle at all; the
+simulator's run loop dispatches on the payload type.  Because sequence
+numbers are unique, tuple comparison never reaches the third element, so
+payloads need not be comparable.
+
+The queue also keeps an exact *live* count: :func:`len` reports only events
+that are still going to fire.  Cancelled events are excluded immediately at
+:meth:`Event.cancel` time (and lazily removed from the heap), which is what
+makes ``Simulator.pending_events`` trustworthy for the "is the simulation
+idle?" checks in the protocol runners.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from itertools import count
+from typing import Any, Callable, Optional, Tuple
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A cancellation handle for one scheduled callback.
 
     Attributes:
         time: simulated time at which the event fires.
@@ -24,49 +39,174 @@ class Event:
         cancelled: a cancelled event is skipped by the queue.
     """
 
-    time: float
-    sequence: int
-    action: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "sequence", "action", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        action: Callable[[], None],
+        queue: Optional["EventQueue"] = None,
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.action = action
+        self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event as cancelled; it will be silently skipped."""
+        """Mark the event as cancelled; it will be silently skipped.
+
+        Cancelling is idempotent, and cancelling an event that already fired
+        (or was already cancelled) does not disturb the owning queue's live
+        count.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            self._queue = None
+            queue._live -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(time={self.time!r}, sequence={self.sequence!r}, "
+            f"cancelled={self.cancelled!r})"
+        )
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`Event` objects."""
+    """A deterministic priority queue of scheduled items.
+
+    Two write paths share one heap:
+
+    * :meth:`push` returns an :class:`Event` handle that can be cancelled —
+      this is what ``Simulator.schedule`` (protocol timers) uses;
+    * :meth:`push_item` stores an opaque payload without allocating a
+      handle — the simulator's delivery fast path.
+
+    ``len(queue)`` is the number of events that will still fire (cancelled
+    entries are excluded the moment they are cancelled).
+    """
 
     def __init__(self) -> None:
         self._heap: list = []
-        self._counter = itertools.count()
+        self._live = 0
+        self._next_sequence = count().__next__
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._live
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return self._live > 0
 
     def push(self, time: float, action: Callable[[], None]) -> Event:
-        """Schedule ``action`` at simulated ``time`` and return the event."""
+        """Schedule ``action`` at simulated ``time`` and return its handle."""
         if time < 0:
             raise ValueError("events cannot be scheduled at negative times")
-        event = Event(time=time, sequence=next(self._counter), action=action)
-        heapq.heappush(self._heap, event)
+        event = Event(time, self._next_sequence(), action, self)
+        heapq.heappush(self._heap, (time, event.sequence, event))
+        self._live += 1
         return event
 
+    def push_item(self, time: float, item: Any) -> None:
+        """Schedule an opaque, non-cancellable ``item`` at ``time``.
+
+        The fast path of the simulator: one tuple on the heap, no handle.
+        The caller of :meth:`pop_item` is responsible for knowing what the
+        payload means.
+        """
+        if time < 0:
+            raise ValueError("events cannot be scheduled at negative times")
+        heapq.heappush(self._heap, (time, self._next_sequence(), item))
+        self._live += 1
+
     def pop(self) -> Optional[Event]:
-        """Remove and return the next non-cancelled event, or ``None``."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+        """Remove and return the next live event's handle, or ``None``.
+
+        Items stored through :meth:`push_item` are returned wrapped in a
+        fresh (already-detached) handle so the legacy ``pop().action()``
+        idiom keeps working for callable payloads.
+        """
+        entry = self._pop_live()
+        if entry is None:
+            return None
+        time, sequence, item = entry
+        if item.__class__ is Event:
+            return item
+        return Event(time, sequence, item)
+
+    def pop_item(self) -> Optional[Tuple[float, Any]]:
+        """Remove and return ``(time, payload)`` of the next live entry.
+
+        For entries made by :meth:`push`, the payload is the event's
+        ``action`` callable; for :meth:`push_item` entries it is the stored
+        item, verbatim.  Returns ``None`` when nothing live remains.
+        """
+        entry = self._pop_live()
+        if entry is None:
+            return None
+        time, _, item = entry
+        if item.__class__ is Event:
+            return time, item.action
+        return time, item
+
+    def pop_item_until(
+        self, limit: Optional[float]
+    ) -> Optional[Tuple[float, Any]]:
+        """Like :meth:`pop_item`, but leave entries after ``limit`` queued.
+
+        Returns ``None`` when the queue has no live entry at time ``<=
+        limit`` (with ``limit=None`` meaning "no bound").  This fuses the
+        peek-then-pop pair of the simulator's run loop into one heap
+        inspection per event.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            item = head[2]
+            if item.__class__ is Event:
+                if item.cancelled:
+                    heapq.heappop(heap)
+                    continue
+                if limit is not None and head[0] > limit:
+                    return None
+                heapq.heappop(heap)
+                item._queue = None
+                self._live -= 1
+                return head[0], item.action
+            if limit is not None and head[0] > limit:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            return head[0], item
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next pending event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            item = head[2]
+            if item.__class__ is Event and item.cancelled:
+                heapq.heappop(heap)
+                continue
+            return head[0]
+        return None
+
+    def _pop_live(self) -> Optional[tuple]:
+        """Pop the next non-cancelled heap entry, maintaining the live count."""
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            item = entry[2]
+            if item.__class__ is Event:
+                if item.cancelled:
+                    continue
+                # Detach so a late cancel() cannot decrement the live count
+                # for an event that already fired.
+                item._queue = None
+            self._live -= 1
+            return entry
+        return None

@@ -15,11 +15,7 @@ from typing import Any, Dict, Hashable, Optional
 _message_counter = itertools.count()
 
 
-def _next_message_uid() -> int:
-    return next(_message_counter)
-
-
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A protocol message travelling over one overlay link.
 
@@ -37,7 +33,9 @@ class Message:
     payload_id: Hashable
     body: Dict[str, Any] = field(default_factory=dict)
     size_bytes: int = 256
-    uid: int = field(default_factory=_next_message_uid)
+    # Bound method of the counter directly: one C-level call per message
+    # instead of a Python wrapper frame on the hot construction path.
+    uid: int = field(default_factory=_message_counter.__next__)
 
     def copy_for_forwarding(self) -> "Message":
         """Return a fresh message instance carrying the same content.
@@ -53,9 +51,15 @@ class Message:
         )
 
 
-@dataclass(frozen=True)
 class Observation:
     """A single delivery as seen from the receiving node.
+
+    Observations are allocated once per delivery on the simulator's hottest
+    path, so the class is hand-rolled rather than a dataclass: slotted (no
+    per-instance ``__dict__``) with a plain ``__init__`` that avoids the
+    ``object.__setattr__`` detour a frozen dataclass pays per field.  Treat
+    instances as immutable records — every index in the observation store
+    assumes a recorded observation never changes.
 
     Attributes:
         time: simulated delivery time.
@@ -66,8 +70,41 @@ class Observation:
             out-of-band group traffic (e.g. DC-net exchanges).
     """
 
-    time: float
-    receiver: Hashable
-    sender: Optional[Hashable]
-    message: Message
-    direct: bool = True
+    __slots__ = ("time", "receiver", "sender", "message", "direct")
+
+    def __init__(
+        self,
+        time: float,
+        receiver: Hashable,
+        sender: Optional[Hashable],
+        message: Message,
+        direct: bool = True,
+    ) -> None:
+        self.time = time
+        self.receiver = receiver
+        self.sender = sender
+        self.message = message
+        self.direct = direct
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Observation:
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.receiver == other.receiver
+            and self.sender == other.sender
+            and self.message == other.message
+            and self.direct == other.direct
+        )
+
+    # Observations contain a (mutable) Message, exactly like the previous
+    # frozen-dataclass version whose generated hash would have failed on the
+    # message field — so they are explicitly unhashable.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return (
+            f"Observation(time={self.time!r}, receiver={self.receiver!r}, "
+            f"sender={self.sender!r}, message={self.message!r}, "
+            f"direct={self.direct!r})"
+        )

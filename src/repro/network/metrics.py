@@ -18,7 +18,7 @@ indexed here per payload, so ``delivered_nodes``, ``reach`` and
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.network.message import Observation
 from repro.network.observation_store import ObservationStore
@@ -44,8 +44,16 @@ class MetricsCollector:
 
     @property
     def sends(self) -> List[Observation]:
-        """A copy of the chronological send log (kept for compatibility)."""
+        """A copy of the chronological send log (kept for compatibility).
+
+        Prefer :meth:`iter_sends` for read-only scans — it avoids copying
+        the full log.
+        """
         return self.store.observations
+
+    def iter_sends(self) -> Iterator[Observation]:
+        """Lazily iterate the chronological send log without copying it."""
+        return self.store.iter_observations()
 
     def record_send(self, observation: Observation) -> None:
         """Record one message delivery (equivalently: one link traversal)."""

@@ -8,7 +8,7 @@ adaptive diffusion, the three-phase protocol) subclasses :class:`Node`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Hashable, List, Optional
+from typing import TYPE_CHECKING, Callable, Hashable, NoReturn, Optional, Tuple
 
 from repro.network.events import Event
 from repro.network.message import Message
@@ -39,10 +39,13 @@ class Node:
     @property
     def simulator(self) -> "Simulator":
         if self._simulator is None:
-            raise RuntimeError(
-                f"node {self.node_id!r} is not attached to a simulator"
-            )
+            self._raise_unattached()
         return self._simulator
+
+    def _raise_unattached(self) -> "NoReturn":
+        raise RuntimeError(
+            f"node {self.node_id!r} is not attached to a simulator"
+        )
 
     @property
     def now(self) -> float:
@@ -50,8 +53,11 @@ class Node:
         return self.simulator.now
 
     @property
-    def neighbours(self) -> List[Hashable]:
-        """Overlay neighbours of this node, in deterministic order."""
+    def neighbours(self) -> Tuple[Hashable, ...]:
+        """Overlay neighbours of this node, in deterministic order.
+
+        A cached immutable tuple shared across calls — treat as read-only.
+        """
         return self.simulator.neighbours_of(self.node_id)
 
     # ------------------------------------------------------------------
@@ -59,7 +65,12 @@ class Node:
     # ------------------------------------------------------------------
     def send(self, receiver: Hashable, message: Message) -> None:
         """Send ``message`` to an overlay neighbour."""
-        self.simulator.send(self.node_id, receiver, message, direct=False)
+        # Hot path: read the attribute once instead of going through the
+        # ``simulator`` property's guard on every forwarded message.
+        simulator = self._simulator
+        if simulator is None:
+            self._raise_unattached()
+        simulator.send(self.node_id, receiver, message, direct=False)
 
     def send_direct(self, receiver: Hashable, message: Message) -> None:
         """Send ``message`` to any node, bypassing the overlay.
@@ -68,7 +79,10 @@ class Node:
         not coincide with overlay edges; such traffic is accounted separately
         (``direct=True`` in the observation record).
         """
-        self.simulator.send(self.node_id, receiver, message, direct=True)
+        simulator = self._simulator
+        if simulator is None:
+            self._raise_unattached()
+        simulator.send(self.node_id, receiver, message, direct=True)
 
     def schedule(self, delay: float, action: Callable[[], None]) -> Event:
         """Schedule ``action`` to run ``delay`` time units from now."""

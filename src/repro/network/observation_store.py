@@ -63,6 +63,22 @@ class ObservationStore:
         1
     """
 
+    # The store is written once per simulated delivery — the single hottest
+    # call in the library after the event loop itself — so its records stay
+    # slim: no instance ``__dict__``, plain tuples as compound keys, and
+    # ``record`` structured so each index costs one lookup and one append.
+    __slots__ = (
+        "_log",
+        "_by_payload",
+        "_by_kind",
+        "_by_payload_kind",
+        "_by_receiver",
+        "_first_by_receiver",
+        "_first_by_receiver_kind",
+        "_first_hooks",
+        "_bytes_total",
+    )
+
     def __init__(self) -> None:
         self._log: List[Observation] = []
         self._by_payload: Dict[Hashable, List[int]] = defaultdict(list)
@@ -71,10 +87,12 @@ class ObservationStore:
             defaultdict(list)
         )
         self._by_receiver: Dict[Hashable, List[int]] = defaultdict(list)
-        self._first_by_receiver: Dict[Hashable, Dict[Hashable, int]] = {}
+        self._first_by_receiver: Dict[Hashable, Dict[Hashable, int]] = (
+            defaultdict(dict)
+        )
         self._first_by_receiver_kind: Dict[
             Tuple[Hashable, str], Dict[Hashable, int]
-        ] = {}
+        ] = defaultdict(dict)
         self._first_hooks: Dict[
             Tuple[Hashable, str], List[FirstObservationHook]
         ] = {}
@@ -90,8 +108,9 @@ class ObservationStore:
         number; positions are strictly increasing, so index lists are always
         sorted and can be merged cheaply).
         """
-        position = len(self._log)
-        self._log.append(observation)
+        log = self._log
+        position = len(log)
+        log.append(observation)
         message = observation.message
         payload_id = message.payload_id
         kind = message.kind
@@ -104,12 +123,12 @@ class ObservationStore:
         first_of_pair = not pair_positions
         pair_positions.append(position)
         self._by_receiver[receiver].append(position)
-        self._first_by_receiver.setdefault(payload_id, {}).setdefault(
-            receiver, position
-        )
-        self._first_by_receiver_kind.setdefault(pair, {}).setdefault(
-            receiver, position
-        )
+        first_table = self._first_by_receiver[payload_id]
+        if receiver not in first_table:
+            first_table[receiver] = position
+        first_kind_table = self._first_by_receiver_kind[pair]
+        if receiver not in first_kind_table:
+            first_kind_table[receiver] = position
         self._bytes_total += message.size_bytes
 
         if first_of_pair and pair in self._first_hooks:
@@ -193,8 +212,23 @@ class ObservationStore:
     # ------------------------------------------------------------------
     @property
     def observations(self) -> List[Observation]:
-        """A copy of the full chronological log."""
+        """A copy of the full chronological log.
+
+        For read-only scans prefer :meth:`iter_observations`, which does not
+        copy anything.
+        """
         return list(self._log)
+
+    def iter_observations(self) -> Iterator[Observation]:
+        """Lazily iterate the full chronological log without copying it.
+
+        The iterator is live over the append-only log: entries recorded
+        while iterating are yielded too, and already-yielded entries never
+        change.  This is the cheap path for whole-log consumers (reporting,
+        estimators, equivalence oracles) that previously paid a full-list
+        copy via :attr:`observations` per scan.
+        """
+        return iter(self._log)
 
     def _positions(
         self,

@@ -7,12 +7,45 @@ latency-model delay and to record every delivery as an
 :class:`~repro.network.message.Observation` in the indexed
 :class:`~repro.network.observation_store.ObservationStore` so adversaries and
 benchmarks can analyse the run afterwards without scanning the full log.
+
+Hot-path design.  ``send`` and the run loop dominate the wall-clock of every
+benchmark, so they avoid Python overhead that would be invisible at 100
+nodes but dominant at 5,000:
+
+* a delivery is *data*, not code — ``send`` pushes a plain
+  ``(receiver, sender, message, direct)`` tuple onto the event queue
+  (:meth:`EventQueue.push_item`) instead of allocating a per-message closure
+  plus an ``Event`` object, and the run loop dispatches on the payload type,
+  building the :class:`Observation` inline and appending it through the
+  pre-bound ``store.record`` fast path;
+* the conditions' ``loss_probability``/``jitter``, the latency model's
+  ``delay`` method and the per-node adjacency sets are cached on the
+  simulator at construction, so the per-event inner loop does no repeated
+  attribute chasing;
+* :meth:`neighbours_of` returns one cached, immutable tuple per node —
+  callers iterate it millions of times during a flood fan-out and must not
+  mutate it.
+
+None of this changes observable behaviour: event ordering is still (time,
+insertion order), the loss/jitter stream still comes from the dedicated link
+RNG, and identical seeds produce identical observation logs (guarded by the
+golden tests in ``tests/network/test_fastpath_determinism.py``).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Hashable, Iterable, List, Optional
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 import networkx as nx
 
@@ -81,9 +114,18 @@ class Simulator:
         self._nodes: Dict[Hashable, Node] = {}
         self._now = 0.0
         self._started = False
-        self._neighbour_cache: Dict[Hashable, List[Hashable]] = {}
+        self._neighbour_cache: Dict[Hashable, Tuple[Hashable, ...]] = {}
+        self._adjacency: Dict[Hashable, FrozenSet[Hashable]] = {}
         self._dropped_total = 0
         self._dropped_by_payload: Dict[Hashable, int] = {}
+        # Per-event fast path: the conditions object is frozen and the
+        # latency model / store are fixed for the simulator's lifetime, so
+        # their hot attributes are resolved exactly once.
+        self._loss_probability = self.conditions.loss_probability
+        self._jitter = self.conditions.jitter
+        self._delay = self.latency.delay
+        self._record = self.store.record
+        self._push_item = self._queue.push_item
 
     # ------------------------------------------------------------------
     # Node management
@@ -113,13 +155,43 @@ class Simulator:
         """Mapping of node id to registered behaviour."""
         return dict(self._nodes)
 
-    def neighbours_of(self, node_id: Hashable) -> List[Hashable]:
-        """Overlay neighbours of ``node_id`` in deterministic order."""
-        if node_id not in self._neighbour_cache:
-            self._neighbour_cache[node_id] = sorted(
-                self.graph.neighbors(node_id), key=repr
-            )
-        return list(self._neighbour_cache[node_id])
+    def neighbours_of(self, node_id: Hashable) -> Tuple[Hashable, ...]:
+        """Overlay neighbours of ``node_id`` in deterministic order.
+
+        Returns a cached immutable tuple — the same object on every call —
+        so flood/gossip fan-outs iterate it without a per-call list copy.
+        Callers must treat it as read-only.
+        """
+        cached = self._neighbour_cache.get(node_id)
+        if cached is None:
+            cached = tuple(sorted(self.graph.neighbors(node_id), key=repr))
+            self._neighbour_cache[node_id] = cached
+        return cached
+
+    def _adjacent_to(self, node_id: Hashable) -> FrozenSet[Hashable]:
+        """Cached neighbour set of ``node_id`` (empty for non-graph nodes)."""
+        adjacent = self._adjacency.get(node_id)
+        if adjacent is None:
+            if node_id in self.graph:
+                adjacent = frozenset(self.graph.neighbors(node_id))
+            else:
+                adjacent = frozenset()
+            self._adjacency[node_id] = adjacent
+        return adjacent
+
+    def invalidate_topology_caches(self) -> None:
+        """Drop the cached neighbour tuples and adjacency sets.
+
+        The simulator caches each node's neighbour tuple (for fan-outs) and
+        adjacency set (for overlay-edge validation in :meth:`send`).  Code
+        that mutates :attr:`graph` *after* construction — e.g.
+        :func:`~repro.adversary.botnet.inject_supernodes` on a graph already
+        owned by a simulator — must call this, or sends along new edges will
+        be rejected against the stale topology.  (All built-in experiment
+        flows mutate the graph before building the simulator.)
+        """
+        self._neighbour_cache.clear()
+        self._adjacency.clear()
 
     # ------------------------------------------------------------------
     # Time and events
@@ -157,37 +229,31 @@ class Simulator:
         """
         if receiver not in self._nodes:
             raise ValueError(f"receiver {receiver!r} is not registered")
-        if not direct and not self.graph.has_edge(sender, receiver):
-            raise ValueError(
-                f"no overlay edge between {sender!r} and {receiver!r}"
-            )
-        delay = self.latency.delay(sender, receiver)
         if not direct:
-            conditions = self.conditions
-            if (
-                conditions.loss_probability > 0.0
-                and self._link_rng.random() < conditions.loss_probability
-            ):
+            adjacent = self._adjacency.get(sender)
+            if adjacent is None:
+                adjacent = self._adjacent_to(sender)
+            if receiver not in adjacent:
+                raise ValueError(
+                    f"no overlay edge between {sender!r} and {receiver!r}"
+                )
+        delay = self._delay(sender, receiver)
+        if not direct:
+            loss = self._loss_probability
+            if loss > 0.0 and self._link_rng.random() < loss:
                 self._dropped_total += 1
                 self._dropped_by_payload[message.payload_id] = (
                     self._dropped_by_payload.get(message.payload_id, 0) + 1
                 )
                 return
-            if conditions.jitter > 0.0:
-                delay += self._link_rng.uniform(0.0, conditions.jitter)
-
-        def deliver() -> None:
-            observation = Observation(
-                time=self._now,
-                receiver=receiver,
-                sender=sender,
-                message=message,
-                direct=direct,
-            )
-            self.metrics.record_send(observation)
-            self._nodes[receiver].on_message(sender, message)
-
-        self._queue.push(self._now + delay, deliver)
+            jitter = self._jitter
+            if jitter > 0.0:
+                delay += self._link_rng.uniform(0.0, jitter)
+        # A delivery is data, not code: the run loop recognises the 4-tuple
+        # and performs the observation + dispatch inline.
+        self._push_item(
+            self._now + delay, (receiver, sender, message, direct)
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -222,21 +288,35 @@ class Simulator:
         """
         self._start_nodes()
         executed = 0
+        event_cap = float("inf") if max_events is None else max_events
         hit_event_limit = False
-        while self._queue:
-            next_time = self._queue.peek_time()
-            if next_time is None:
+        queue = self._queue
+        pop_item_until = queue.pop_item_until
+        nodes = self._nodes
+        record = self._record
+        while True:
+            if executed >= event_cap:
+                # Only counts as hitting the limit if something within the
+                # time bound was actually still due.
+                next_time = queue.peek_time()
+                hit_event_limit = next_time is not None and (
+                    until is None or next_time <= until
+                )
                 break
-            if until is not None and next_time > until:
+            entry = pop_item_until(until)
+            if entry is None:
                 break
-            if max_events is not None and executed >= max_events:
-                hit_event_limit = True
-                break
-            event = self._queue.pop()
-            if event is None:
-                break
-            self._now = max(self._now, event.time)
-            event.action()
+            time, item = entry
+            if time > self._now:
+                self._now = time
+            if item.__class__ is tuple:
+                receiver, sender, message, direct = item
+                record(
+                    Observation(self._now, receiver, sender, message, direct)
+                )
+                nodes[receiver].on_message(sender, message)
+            else:
+                item()
             executed += 1
         if until is not None and not hit_event_limit:
             self._now = max(self._now, until)
@@ -248,7 +328,12 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (cancelled events may be counted)."""
+        """Number of events still due to fire.
+
+        Cancelled events are excluded immediately, so a ``pending_events ==
+        0`` check means the simulation is genuinely idle — timers that were
+        cancelled no longer keep runner loops spinning.
+        """
         return len(self._queue)
 
     # ------------------------------------------------------------------
@@ -271,10 +356,20 @@ class Simulator:
         """A copy of the chronological delivery log.
 
         Prefer the indexed queries on :attr:`store` (or :attr:`metrics`) for
-        anything payload-, kind- or receiver-scoped; this property exists for
-        code that genuinely wants the whole log.
+        anything payload-, kind- or receiver-scoped, and
+        :meth:`iter_observations` for read-only full scans; this property
+        exists for code that genuinely wants an independent list.
         """
         return self.store.observations
+
+    def iter_observations(self) -> Iterator[Observation]:
+        """Lazily iterate the chronological delivery log without copying.
+
+        The view is read-only and live: observations recorded while the
+        iterator is being consumed will be yielded too (the log is
+        append-only, so already-yielded entries never change).
+        """
+        return self.store.iter_observations()
 
     def delivered_fraction(self, payload_id: Hashable) -> float:
         """Fraction of overlay nodes that obtained the payload."""

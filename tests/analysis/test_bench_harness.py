@@ -1,0 +1,119 @@
+"""Tests for the tracked benchmark harness (``benchmarks/harness.py``).
+
+The harness is plain library code (no pytest-benchmark involved), so its
+contracts — deterministic event counts, report shape, calibrated regression
+detection — are tested here at toy sizes.  Run from the repository root
+(the tier-1 invocation), ``benchmarks`` resolves as a namespace package.
+"""
+
+import pytest
+
+from benchmarks import harness
+
+
+def tiny_flood():
+    return harness.flood_scenario(
+        "tiny_flood", size=40, degree=4, overlay_seed=1, run_seed=2
+    )
+
+
+class TestRunScenario:
+    def test_report_shape_and_determinism(self):
+        result = harness.run_scenario(tiny_flood(), repeats=2, warmup=1)
+        assert result["events"] > 40  # a flood delivers more than n messages
+        assert result["median_seconds"] > 0
+        assert result["events_per_second"] > 0
+        assert result["peak_rss_kib"] > 0
+        assert len(result["description"]) > 0
+
+    def test_dcnet_scenario_counts_share_messages(self):
+        scenario = harness.dcnet_round_scenario(
+            "tiny_dcnet", frame_length=64, group_size=4, rounds=2
+        )
+        result = harness.run_scenario(scenario, repeats=1, warmup=0)
+        # 3·k·(k−1) per round, two rounds.
+        assert result["events"] == 2 * 3 * 4 * 3
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ValueError):
+            harness.run_scenario(tiny_flood(), repeats=0)
+
+    def test_nondeterministic_scenario_fails_loudly(self):
+        counter = iter(range(100))
+        scenario = harness.Scenario(
+            name="drifting",
+            description="returns a different event count every run",
+            setup=lambda: None,
+            run=lambda _context: next(counter),
+        )
+        with pytest.raises(RuntimeError, match="not deterministic"):
+            harness.run_scenario(scenario, repeats=2, warmup=0)
+
+
+class TestSuite:
+    def test_smoke_subset_is_nonempty_and_tracked(self):
+        smoke = harness.scenario_names(smoke_only=True)
+        assert smoke
+        assert set(smoke) <= set(harness.scenario_names())
+        # The two acceptance-tracked scenario families stay present.
+        assert any(name.startswith("e6_") for name in harness.SCENARIOS)
+        assert any(name.startswith("e11_") for name in harness.SCENARIOS)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            harness.run_suite(["no_such_scenario"], repeats=1)
+
+
+def _report(eps_by_name, calibration=1_000_000.0):
+    return {
+        "meta": {"calibration_ops_per_second": calibration},
+        "results": {
+            name: {"events_per_second": eps}
+            for name, eps in eps_by_name.items()
+        },
+    }
+
+
+class TestCompareReports:
+    def test_regression_detected(self):
+        baseline = _report({"a": 100.0, "b": 100.0})
+        current = _report({"a": 70.0, "b": 99.0})
+        entries = {
+            entry["name"]: entry
+            for entry in harness.compare_reports(
+                baseline, current, max_regression=0.25
+            )
+        }
+        assert entries["a"]["status"] == "regression"
+        assert entries["b"]["status"] == "ok"
+
+    def test_calibration_normalises_machine_speed(self):
+        # Same engine measured on a machine twice as fast: raw events/sec
+        # doubles, calibration doubles, verdict stays "ok".
+        baseline = _report({"a": 100.0}, calibration=1_000_000.0)
+        current = _report({"a": 200.0}, calibration=2_000_000.0)
+        (entry,) = harness.compare_reports(baseline, current)
+        assert entry["status"] == "ok"
+        assert entry["speedup"] == pytest.approx(1.0)
+
+    def test_improvement_reported(self):
+        baseline = _report({"a": 100.0})
+        current = _report({"a": 300.0})
+        (entry,) = harness.compare_reports(baseline, current)
+        assert entry["status"] == "improvement"
+        assert entry["speedup"] == pytest.approx(3.0)
+
+    def test_missing_scenarios_never_fail(self):
+        baseline = _report({"a": 100.0, "gone": 50.0})
+        current = _report({"a": 100.0, "new": 10.0})
+        statuses = {
+            entry["name"]: entry["status"]
+            for entry in harness.compare_reports(baseline, current)
+        }
+        assert statuses == {"a": "ok", "gone": "missing", "new": "missing"}
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            harness.compare_reports(
+                _report({"a": 1.0}), _report({"a": 1.0}), max_regression=1.0
+            )

@@ -60,6 +60,14 @@ class TestRandomPad:
         with pytest.raises(ValueError):
             random_pad(random.Random(0), -5)
 
+    def test_empty_pad_draws_nothing(self):
+        # Regression: getrandbits(0) raises before Python 3.11; an empty
+        # pad must come back empty without touching the RNG stream.
+        rng = random.Random(6)
+        state = rng.getstate()
+        assert random_pad(rng, 0) == b""
+        assert rng.getstate() == state
+
 
 class TestShareSplitting:
     def test_shares_recombine_to_message(self):
@@ -89,6 +97,14 @@ class TestShareSplitting:
         shares = split_into_shares(message, 4, rng)
         partial = combine_shares(shares[:-1])
         assert partial != message
+
+    def test_empty_message_splits_into_empty_shares(self):
+        rng = random.Random(7)
+        state = rng.getstate()
+        shares = split_into_shares(b"", 5, rng)
+        assert shares == [b""] * 5
+        assert combine_shares(shares) == b""
+        assert rng.getstate() == state  # zero-length frames draw nothing
 
     def test_invalid_count_rejected(self):
         with pytest.raises(ValueError):

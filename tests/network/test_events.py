@@ -66,3 +66,95 @@ class TestEventQueue:
         queue.push(1.0, lambda: None)
         queue.push(2.0, lambda: None)
         assert len(queue) == 2
+
+
+class TestLiveCount:
+    """``len`` counts only events that will still fire (regression:
+    cancelled events used to be counted until they were lazily popped)."""
+
+    def test_cancel_decrements_immediately(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert len(queue) == 1
+        assert bool(queue)
+
+    def test_all_cancelled_queue_is_falsy(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(3)]
+        for event in events:
+            event.cancel()
+        assert len(queue) == 0
+        assert not queue
+        assert queue.pop() is None
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        popped = queue.pop()
+        assert popped is event
+        event.cancel()  # too late: it already fired
+        assert len(queue) == 1
+        assert queue.pop() is not None
+        assert len(queue) == 0
+
+    def test_pop_decrements(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push_item(2.0, ("payload",))
+        assert len(queue) == 2
+        queue.pop_item()
+        assert len(queue) == 1
+        queue.pop_item()
+        assert len(queue) == 0
+
+
+class TestFastPathEntries:
+    def test_push_item_round_trip(self):
+        queue = EventQueue()
+        payload = ("receiver", "sender", "message", False)
+        queue.push_item(1.5, payload)
+        assert queue.peek_time() == 1.5
+        time, item = queue.pop_item()
+        assert time == 1.5
+        assert item is payload
+
+    def test_pop_wraps_item_in_handle(self):
+        queue = EventQueue()
+        fired = []
+        queue.push_item(1.0, lambda: fired.append("ran"))
+        handle = queue.pop()
+        handle.action()
+        assert fired == ["ran"]
+
+    def test_pop_item_until_respects_limit(self):
+        queue = EventQueue()
+        queue.push_item(1.0, "early")
+        queue.push_item(3.0, "late")
+        assert queue.pop_item_until(2.0) == (1.0, "early")
+        assert queue.pop_item_until(2.0) is None
+        assert len(queue) == 1  # the late entry is untouched
+        assert queue.pop_item_until(None) == (3.0, "late")
+
+    def test_pop_item_until_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push_item(2.0, "kept")
+        event.cancel()
+        assert queue.pop_item_until(5.0) == (2.0, "kept")
+        assert queue.pop_item_until(5.0) is None
+
+    def test_negative_time_rejected_on_fast_path(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push_item(-0.5, "nope")

@@ -151,6 +151,29 @@ class TestQueryEquivalence:
         assert store.observations == log
         assert list(store) == log
 
+    def test_iter_observations_is_lazy_and_live(self):
+        store = ObservationStore()
+        log = []
+        for index in range(4):
+            obs = Observation(
+                float(index), receiver=index, sender=index + 1,
+                message=Message(kind="flood", payload_id="tx"),
+            )
+            store.record(obs)
+            log.append(obs)
+        view = store.iter_observations()
+        assert iter(view) is view  # an iterator, not a copy
+        consumed = [next(view), next(view)]
+        assert consumed == log[:2]
+        # Appended entries become visible to an in-flight iterator.
+        extra = Observation(
+            99.0, receiver=0, sender=1,
+            message=Message(kind="flood", payload_id="late"),
+        )
+        store.record(extra)
+        remaining = list(view)
+        assert remaining == log[2:] + [extra]
+
     def test_of_payload(self, traffic):
         log, store = traffic
         for payload_id in PAYLOADS + ("missing",):

@@ -70,13 +70,36 @@ class TestSimulatorBasics:
 
     def test_neighbours_are_sorted_and_cached(self):
         sim = build_sim()
-        assert sim.neighbours_of(1) == [0, 2]
-        assert sim.node(1).neighbours == [0, 2]
+        assert sim.neighbours_of(1) == (0, 2)
+        assert sim.node(1).neighbours == (0, 2)
+        # The fan-out fast path: one immutable tuple, shared across calls.
+        assert sim.neighbours_of(1) is sim.neighbours_of(1)
+        assert isinstance(sim.neighbours_of(1), tuple)
 
     def test_unattached_node_raises(self):
         node = EchoNode(0)
         with pytest.raises(RuntimeError):
             _ = node.simulator
+        with pytest.raises(RuntimeError):
+            node.send(1, Message(kind="test", payload_id="tx"))
+        with pytest.raises(RuntimeError):
+            node.send_direct(1, Message(kind="test", payload_id="tx"))
+
+    def test_invalidate_topology_caches_sees_new_edges(self):
+        # The neighbour/adjacency caches are rebuilt on demand after an
+        # explicit invalidation, so post-construction graph mutation (e.g.
+        # injecting adversarial supernodes) can be made visible.
+        graph = nx.path_graph(4)
+        sim = build_sim(graph)
+        assert sim.neighbours_of(0) == (1,)
+        with pytest.raises(ValueError):
+            sim.node(0).send(2, Message(kind="test", payload_id="tx"))
+        graph.add_edge(0, 2)
+        sim.invalidate_topology_caches()
+        assert sim.neighbours_of(0) == (1, 2)
+        sim.node(0).send(2, Message(kind="test", payload_id="tx"))
+        sim.run_until_idle()
+        assert len(sim.node(2).received) == 1
 
 
 class TestDelivery:
@@ -178,6 +201,27 @@ class TestScheduling:
         sim.schedule(1.0, lambda: None)
         sim.schedule(2.0, lambda: None)
         assert sim.pending_events == 2
+        sim.run_until_idle()
+        assert sim.pending_events == 0
+
+    def test_pending_events_excludes_cancelled(self):
+        # Regression: cancelled timers used to inflate pending_events until
+        # the queue happened to pop past them, so "is the simulation idle?"
+        # loops could spin on events that would never fire.
+        sim = build_sim()
+        keep = sim.schedule(1.0, lambda: None)
+        cancel_me = sim.schedule(2.0, lambda: None)
+        cancel_me.cancel()
+        assert sim.pending_events == 1
+        keep.cancel()
+        assert sim.pending_events == 0
+        sim.run_until_idle()
+        assert sim.pending_events == 0
+
+    def test_pending_events_counts_in_flight_messages(self):
+        sim = build_sim()
+        sim.node(0).send(1, Message(kind="test", payload_id="tx"))
+        assert sim.pending_events == 1
         sim.run_until_idle()
         assert sim.pending_events == 0
 
