@@ -2,29 +2,32 @@
 
 Every benchmark regenerates one quantitative claim (experiment ids E1-E10 and
 ablations A1-A3 in DESIGN.md).  The overlays used repeatedly are built once
-per session; each benchmark prints a small table with its measurements so the
-numbers recorded in EXPERIMENTS.md can be reproduced by running
+per session — from the *same* declarative topology specs the scenario
+registry's presets carry (``repro.scenarios.presets``), so the benchmarks
+and ``scripts/scenario.py`` provably run on identical overlays.  Each
+benchmark prints a small table with its measurements so the numbers recorded
+in EXPERIMENTS.md can be reproduced by running
 ``pytest benchmarks/ --benchmark-only -s``.
 """
 
 import pytest
 
-from repro.network.topology import random_regular_overlay
+from repro.scenarios.presets import OVERLAY_100, OVERLAY_200, OVERLAY_1000
 
 
 @pytest.fixture(scope="session")
 def overlay_1000():
     """The paper's evaluation overlay: 1,000 peers, Bitcoin-like degree 8."""
-    return random_regular_overlay(1000, degree=8, seed=42)
+    return OVERLAY_1000.build()
 
 
 @pytest.fixture(scope="session")
 def overlay_200():
     """A smaller overlay used by the attack experiments to keep runs fast."""
-    return random_regular_overlay(200, degree=8, seed=43)
+    return OVERLAY_200.build()
 
 
 @pytest.fixture(scope="session")
 def overlay_100():
     """A small overlay for parameter sweeps with many repetitions."""
-    return random_regular_overlay(100, degree=8, seed=44)
+    return OVERLAY_100.build()

@@ -10,61 +10,52 @@ first-spy and the rumor-centrality estimator, so the privacy/cost ordering
 is measured without environmental bias.
 """
 
-from repro.analysis.experiment import run_attack_experiment
 from repro.analysis.reporting import format_table
-from repro.core.config import ProtocolConfig
-from repro.diffusion.adaptive import AdaptiveDiffusionConfig
-from repro.network import NetworkConditions
-from repro.protocols import available_protocols, create_protocol
+from repro.protocols import available_protocols
+from repro.scenarios import AdversarySpec, run_scenario_once, scenario
 
 ADVERSARY_FRACTION = 0.2
 BROADCASTS = 6
 
+#: The registered face-off environment (overlay, internet-like conditions,
+#: 20% adversary, seed 12); every protocol's cell is a derived spec.
+BASE = scenario("e12_protocol_faceoff")
 
-def _protocol(name):
-    if name == "three_phase":
-        return create_protocol(
-            name, config=ProtocolConfig(group_size=5, diffusion_depth=3)
-        )
-    if name == "adaptive_diffusion":
-        return create_protocol(
-            name, config=AdaptiveDiffusionConfig(max_rounds=10), max_time=500.0
-        )
-    return create_protocol(name)
+#: Per-protocol options for the face-off (same as ``BASE`` for three-phase;
+#: adaptive diffusion is bounded so lossy runs terminate).
+PROTOCOL_OPTIONS = {
+    "three_phase": dict(BASE.protocol_options),
+    "adaptive_diffusion": {"max_rounds": 10, "max_time": 500.0},
+}
 
 
-def _measure(overlay_100):
-    conditions = NetworkConditions.internet_like()
-    results = {}
-    for name in available_protocols():
-        results[name] = run_attack_experiment(
-            overlay_100,
-            _protocol(name),
-            ADVERSARY_FRACTION,
-            broadcasts=BROADCASTS,
-            seed=12,
-            conditions=conditions,
-        )
+def _spec(name, estimator="first_spy"):
+    return BASE.derive(
+        protocol=name,
+        protocol_options=PROTOCOL_OPTIONS.get(name, {}),
+        adversary=AdversarySpec(
+            fraction=ADVERSARY_FRACTION, estimator=estimator
+        ),
+    )
+
+
+def _measure():
+    results = {
+        name: run_scenario_once(_spec(name))
+        for name in available_protocols()
+    }
     # The snapshot adversary, on the two protocols it is the natural attack
     # against (diffusion hides the source from snapshots by design).
     snapshots = {
-        name: run_attack_experiment(
-            overlay_100,
-            _protocol(name),
-            ADVERSARY_FRACTION,
-            broadcasts=BROADCASTS,
-            seed=12,
-            conditions=conditions,
-            estimator="rumor_centrality",
-        )
+        name: run_scenario_once(_spec(name, estimator="rumor_centrality"))
         for name in ("flood", "adaptive_diffusion")
     }
     return results, snapshots
 
 
-def test_e12_protocol_faceoff(benchmark, overlay_100):
+def test_e12_protocol_faceoff(benchmark):
     results, snapshots = benchmark.pedantic(
-        _measure, args=(overlay_100,), iterations=1, rounds=1
+        _measure, iterations=1, rounds=1
     )
     print()
     print(

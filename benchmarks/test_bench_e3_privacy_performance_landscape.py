@@ -8,37 +8,39 @@ probability (privacy axis) and the messages per broadcast (performance axis)
 of flooding, Dandelion and the three-phase protocol.
 """
 
-from repro.analysis.experiment import attack_experiment
 from repro.analysis.reporting import format_table
-from repro.core.config import ProtocolConfig
+from repro.scenarios import ConditionsSpec, SeedPolicy, run_scenario_once, scenario
 
 ADVERSARY_FRACTION = 0.2
-BROADCASTS = 10
+
+#: The three-phase point of the landscape is the registered preset; the
+#: baseline points derive protocol, conditions and seed from it — the same
+#: historical environments the legacy ``attack_experiment`` shim used
+#: (baselines on per-edge internet latency, three-phase on constant 0.1).
+BASE = scenario("e3_privacy_performance_landscape")
 
 
-def _measure(overlay_200):
-    config = ProtocolConfig(group_size=5, diffusion_depth=3)
+def _measure():
     results = {
-        "flood": attack_experiment(
-            overlay_200, "flood", ADVERSARY_FRACTION, broadcasts=BROADCASTS, seed=1
+        "flood": run_scenario_once(
+            BASE.derive(
+                protocol="flood", protocol_options={},
+                conditions=ConditionsSpec(), seeds=SeedPolicy(base_seed=1),
+            )
         ),
-        "dandelion": attack_experiment(
-            overlay_200, "dandelion", ADVERSARY_FRACTION, broadcasts=BROADCASTS, seed=2
+        "dandelion": run_scenario_once(
+            BASE.derive(
+                protocol="dandelion", protocol_options={},
+                conditions=ConditionsSpec(), seeds=SeedPolicy(base_seed=2),
+            )
         ),
-        "three_phase": attack_experiment(
-            overlay_200,
-            "three_phase",
-            ADVERSARY_FRACTION,
-            broadcasts=BROADCASTS,
-            seed=3,
-            config=config,
-        ),
+        "three_phase": run_scenario_once(BASE),
     }
     return results
 
 
-def test_e3_privacy_performance_landscape(benchmark, overlay_200):
-    results = benchmark.pedantic(_measure, args=(overlay_200,), iterations=1, rounds=1)
+def test_e3_privacy_performance_landscape(benchmark):
+    results = benchmark.pedantic(_measure, iterations=1, rounds=1)
     print()
     print(
         format_table(

@@ -7,33 +7,33 @@ times.  The benchmark sweeps the compromised fraction and measures first-spy
 recall against flood-and-prune.
 """
 
-from repro.analysis.experiment import run_attack_experiment
 from repro.analysis.reporting import format_table
-from repro.network import NetworkConditions
+from repro.scenarios import AdversarySpec, SeedPolicy, run_scenario_once, scenario
 
 FRACTIONS = [0.05, 0.1, 0.2, 0.3]
-BROADCASTS = 12
+
+#: The registered scenario this benchmark sweeps; the spec pins overlay,
+#: conditions, protocol, workload and base seed — each sweep point derives
+#: only the adversary fraction and the historical per-index seed.
+BASE = scenario("e4_broadcast_deanonymization")
 
 
-def _measure(overlay_200):
-    # Registry-driven: the explicit form of the legacy
-    # attack_experiment(overlay, "flood", ...) call — same conditions (stable
-    # per-edge latency, lossless), same seeds, same numbers, but protocol and
-    # estimator are now free parameters.
-    conditions = NetworkConditions()
+def _measure():
     rows = []
     for index, fraction in enumerate(FRACTIONS):
-        result = run_attack_experiment(
-            overlay_200, "flood", fraction, broadcasts=BROADCASTS,
-            seed=10 + index, conditions=conditions, estimator="first_spy",
+        result = run_scenario_once(
+            BASE.derive(
+                adversary=AdversarySpec(fraction=fraction),
+                seeds=SeedPolicy(base_seed=BASE.seeds.base_seed + index),
+            )
         )
         rows.append((fraction, result.detection.detection_probability,
                      result.detection.precision))
     return rows
 
 
-def test_e4_broadcast_deanonymization(benchmark, overlay_200):
-    rows = benchmark.pedantic(_measure, args=(overlay_200,), iterations=1, rounds=1)
+def test_e4_broadcast_deanonymization(benchmark):
+    rows = benchmark.pedantic(_measure, iterations=1, rounds=1)
     print()
     print(
         format_table(

@@ -5,28 +5,28 @@ true originator, so for the adversary fractions the paper quotes (0.15-0.35)
 the first-spy estimator does noticeably worse than against plain flooding.
 """
 
-from repro.analysis.experiment import attack_experiment
 from repro.analysis.reporting import format_table
-from repro.broadcast.dandelion import DandelionConfig
+from repro.scenarios import AdversarySpec, SeedPolicy, run_scenario_once, scenario
 
 FRACTIONS = [0.15, 0.25, 0.35]
-BROADCASTS = 12
+
+#: The registered Dandelion preset; each sweep point derives the fraction
+#: and the historical seed (20 + index), and the flood baseline derives the
+#: protocol on top — same overlay, same internet-like conditions.
+BASE = scenario("e5_dandelion_baseline")
 
 
-def _measure(overlay_200):
+def _measure():
     rows = []
     for index, fraction in enumerate(FRACTIONS):
-        flood = attack_experiment(
-            overlay_200, "flood", fraction, broadcasts=BROADCASTS, seed=20 + index
+        point = BASE.derive(
+            adversary=AdversarySpec(fraction=fraction),
+            seeds=SeedPolicy(base_seed=20 + index),
         )
-        dandelion = attack_experiment(
-            overlay_200,
-            "dandelion",
-            fraction,
-            broadcasts=BROADCASTS,
-            seed=20 + index,
-            dandelion_config=DandelionConfig(fluff_probability=0.1),
+        flood = run_scenario_once(
+            point.derive(protocol="flood", protocol_options={})
         )
+        dandelion = run_scenario_once(point)
         rows.append(
             (
                 fraction,
@@ -38,8 +38,8 @@ def _measure(overlay_200):
     return rows
 
 
-def test_e5_dandelion_baseline(benchmark, overlay_200):
-    rows = benchmark.pedantic(_measure, args=(overlay_200,), iterations=1, rounds=1)
+def test_e5_dandelion_baseline(benchmark):
+    rows = benchmark.pedantic(_measure, iterations=1, rounds=1)
     print()
     print(
         format_table(

@@ -10,15 +10,18 @@ Two claims are measured:
 """
 
 from repro.adversary.collusion import group_collusion_posterior
-from repro.analysis.experiment import attack_experiment
 from repro.analysis.reporting import format_table
 from repro.core.config import ProtocolConfig
 from repro.core.orchestrator import ThreePhaseBroadcast
 from repro.privacy.anonymity import anonymity_set_size, is_k_anonymous
 from repro.privacy.entropy import normalized_entropy
+from repro.scenarios import ConditionsSpec, SeedPolicy, run_scenario_once, scenario
 
-BROADCASTS = 10
 ADVERSARY_FRACTION = 0.2
+
+#: The registered three-phase preset (k=6, d=3, seed 31, constant latency);
+#: the flood comparison derives protocol, conditions and seed from it.
+BASE = scenario("e8_privacy_bounds")
 
 
 def _measure(overlay_200):
@@ -32,17 +35,13 @@ def _measure(overlay_200):
     honest = len(result.group) - len(colluders)
 
     # Part 2: outside observer detection probability, protocol vs flood.
-    flood = attack_experiment(
-        overlay_200, "flood", ADVERSARY_FRACTION, broadcasts=BROADCASTS, seed=30
+    flood = run_scenario_once(
+        BASE.derive(
+            protocol="flood", protocol_options={},
+            conditions=ConditionsSpec(), seeds=SeedPolicy(base_seed=30),
+        )
     )
-    three_phase = attack_experiment(
-        overlay_200,
-        "three_phase",
-        ADVERSARY_FRACTION,
-        broadcasts=BROADCASTS,
-        seed=31,
-        config=ProtocolConfig(group_size=6, diffusion_depth=3),
-    )
+    three_phase = run_scenario_once(BASE)
     return posterior, honest, flood, three_phase
 
 

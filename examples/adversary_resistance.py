@@ -7,41 +7,64 @@ of a transaction when it is broadcast with plain flooding, Dandelion, and the
 paper's three-phase protocol.  This is the measured version of the paper's
 Fig. 1 landscape and Section III motivation.
 
+The whole sweep is declared through the scenario layer: one base
+:class:`~repro.scenarios.spec.ScenarioSpec` fixes the overlay and workload,
+and every cell of the table derives protocol, conditions, adversary fraction
+and seed from it — no imperative simulator wiring anywhere.
+
 Run with:  python examples/adversary_resistance.py
 """
 
-from repro.analysis.experiment import attack_experiment
 from repro.analysis.reporting import format_table
-from repro.core import ProtocolConfig
-from repro.network.topology import random_regular_overlay
+from repro.scenarios import (
+    AdversarySpec,
+    ConditionsSpec,
+    ScenarioSpec,
+    SeedPolicy,
+    TopologySpec,
+    WorkloadSpec,
+    run_scenario_once,
+)
+
+BASE = ScenarioSpec(
+    name="adversary_resistance",
+    description="First-spy botnet attack on a 200-peer overlay",
+    topology=TopologySpec(
+        "random_regular", {"num_nodes": 200, "degree": 8, "seed": 3}
+    ),
+    workload=WorkloadSpec(broadcasts=10),
+)
+
+#: (protocol, options, conditions, seed base) per column — the historical
+#: environments: baselines on internet-like per-edge latency, the
+#: three-phase protocol on constant 0.1 latency.
+COLUMNS = [
+    ("flood", {}, ConditionsSpec(), 50),
+    ("dandelion", {}, ConditionsSpec(), 60),
+    ("three_phase", {"group_size": 5, "diffusion_depth": 3},
+     ConditionsSpec(kind="ideal", delay=0.1), 70),
+]
 
 
 def main() -> None:
-    overlay = random_regular_overlay(200, degree=8, seed=3)
     fractions = [0.05, 0.15, 0.30]
-    broadcasts = 10
-    config = ProtocolConfig(group_size=5, diffusion_depth=3)
+    group_size = COLUMNS[-1][1]["group_size"]
 
     rows = []
     for index, fraction in enumerate(fractions):
-        flood = attack_experiment(
-            overlay, "flood", fraction, broadcasts=broadcasts, seed=50 + index
-        )
-        dandelion = attack_experiment(
-            overlay, "dandelion", fraction, broadcasts=broadcasts, seed=60 + index
-        )
-        three_phase = attack_experiment(
-            overlay, "three_phase", fraction, broadcasts=broadcasts,
-            seed=70 + index, config=config,
-        )
-        rows.append(
-            [
-                f"{fraction:.0%}",
-                flood.detection.detection_probability,
-                dandelion.detection.detection_probability,
-                three_phase.detection.detection_probability,
-            ]
-        )
+        row = [f"{fraction:.0%}"]
+        for protocol, options, conditions, seed_base in COLUMNS:
+            result = run_scenario_once(
+                BASE.derive(
+                    protocol=protocol,
+                    protocol_options=options,
+                    conditions=conditions,
+                    adversary=AdversarySpec(fraction=fraction),
+                    seeds=SeedPolicy(base_seed=seed_base + index),
+                )
+            )
+            row.append(result.detection.detection_probability)
+        rows.append(row)
 
     print(
         format_table(
@@ -49,14 +72,14 @@ def main() -> None:
             rows,
             title=(
                 "Probability that a botnet first-spy attack identifies the "
-                f"originator ({broadcasts} transactions per cell)"
+                f"originator ({BASE.workload.broadcasts} transactions per cell)"
             ),
         )
     )
     print()
     print(
         "The three-phase protocol additionally guarantees sender "
-        f"{config.group_size}-anonymity against arbitrarily large observer "
+        f"{group_size}-anonymity against arbitrarily large observer "
         "coalitions (the cryptographic floor of Phase 1); the topological "
         "protocols provide no such floor."
     )

@@ -7,22 +7,41 @@ peer-to-peer network without revealing which peer originated them, every peer
 adds received transactions to its mempool, and a miner includes them in
 proof-of-work blocks and earns the fees.
 
+The network side — overlay, conditions, protocol, seed — is one declarative
+scenario spec compiled into a session; the blockchain side drives that
+session with real transaction payloads.
+
 Run with:  python examples/blockchain_broadcast.py
 """
 
 import random
 
 from repro.blockchain import Blockchain, Mempool, Miner, Transaction, Wallet
-from repro.core import ProtocolConfig, ThreePhaseBroadcast
-from repro.network.topology import random_regular_overlay
+from repro.scenarios import (
+    ConditionsSpec,
+    ScenarioSpec,
+    SeedPolicy,
+    TopologySpec,
+    build_session,
+)
+
+SPEC = ScenarioSpec(
+    name="blockchain_broadcast",
+    description="Three-phase broadcasts feeding a proof-of-work miner",
+    topology=TopologySpec(
+        "random_regular", {"num_nodes": 200, "degree": 8, "seed": 7}
+    ),
+    conditions=ConditionsSpec(kind="ideal", delay=0.1),
+    protocol="three_phase",
+    protocol_options={"group_size": 5, "diffusion_depth": 3},
+    seeds=SeedPolicy(base_seed=8),
+)
 
 
 def main() -> None:
     rng = random.Random(7)
-    overlay = random_regular_overlay(200, degree=8, seed=7)
-    protocol = ThreePhaseBroadcast(
-        overlay, ProtocolConfig(group_size=5, diffusion_depth=3), seed=8
-    )
+    session = build_session(SPEC)
+    protocol = session.state["system"]
 
     # Wallets live at specific peers; the peer id is what the adversary would
     # like to link to the wallet address.

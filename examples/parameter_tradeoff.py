@@ -8,27 +8,47 @@ their use case.  This example sweeps both knobs on a 100-peer overlay and
 prints the resulting cost matrix, mirroring the analysis an integrator would
 run before deployment.
 
+Each (k, d) cell is a derived scenario spec — the declarative grid the
+scenario layer exists for: one base spec, ``derive()`` per grid point,
+``build_session()`` into a runnable protocol session.
+
 Run with:  python examples/parameter_tradeoff.py
 """
 
 from repro.analysis.reporting import format_table
-from repro.core import Phase, ProtocolConfig, ThreePhaseBroadcast
-from repro.network.topology import random_regular_overlay
+from repro.core import Phase
+from repro.scenarios import (
+    ConditionsSpec,
+    ScenarioSpec,
+    SeedPolicy,
+    TopologySpec,
+    build_session,
+)
+
+BASE = ScenarioSpec(
+    name="parameter_tradeoff",
+    description="Three-phase (k, d) cost matrix on 100 peers",
+    topology=TopologySpec(
+        "random_regular", {"num_nodes": 100, "degree": 8, "seed": 5}
+    ),
+    conditions=ConditionsSpec(kind="ideal", delay=0.1),
+    protocol="three_phase",
+)
 
 
 def main() -> None:
-    overlay = random_regular_overlay(100, degree=8, seed=5)
     group_sizes = [3, 5, 8]
     depths = [2, 4]
 
     rows = []
     for k in group_sizes:
         for d in depths:
-            protocol = ThreePhaseBroadcast(
-                overlay, ProtocolConfig(group_size=k, diffusion_depth=d),
-                seed=1000 + 10 * k + d,
+            spec = BASE.derive(
+                protocol_options={"group_size": k, "diffusion_depth": d},
+                seeds=SeedPolicy(base_seed=1000 + 10 * k + d),
             )
-            result = protocol.broadcast(
+            session = build_session(spec)
+            result = session.state["system"].broadcast(
                 source=0, payload=f"tradeoff probe k={k} d={d}".encode()
             )
             rows.append(

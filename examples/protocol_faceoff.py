@@ -6,50 +6,53 @@ faces the same environment.  This example runs every protocol in the
 registry — three_phase, flood, dandelion, gossip and adaptive_diffusion —
 through the one experiment harness, twice: under clean internet-like
 conditions and under the same conditions with 10 % link loss.  Each cell of
-the tables is the same overlay, the same per-edge latency distribution, the
-same adversary model and the same seeds; only the protocol differs.
+the tables is one derived scenario spec sharing the base spec's overlay,
+per-edge latency distribution, adversary model and seeds; only the protocol
+(and, between the tables, the loss rate) differs.
 
 Run with:  python examples/protocol_faceoff.py
 """
 
-from repro.analysis.experiment import run_attack_experiment
 from repro.analysis.reporting import format_table
-from repro.core import ProtocolConfig
-from repro.diffusion.adaptive import AdaptiveDiffusionConfig
-from repro.network import NetworkConditions
-from repro.network.topology import random_regular_overlay
-from repro.protocols import available_protocols, create_protocol
+from repro.protocols import available_protocols
+from repro.scenarios import (
+    AdversarySpec,
+    ConditionsSpec,
+    ScenarioSpec,
+    SeedPolicy,
+    TopologySpec,
+    WorkloadSpec,
+    run_scenario_once,
+)
 
-ADVERSARY_FRACTION = 0.2
-BROADCASTS = 8
+BASE = ScenarioSpec(
+    name="protocol_faceoff",
+    description="Every registered protocol under identical conditions",
+    topology=TopologySpec(
+        "random_regular", {"num_nodes": 150, "degree": 8, "seed": 21}
+    ),
+    conditions=ConditionsSpec(),  # clean internet-like
+    adversary=AdversarySpec(fraction=0.2),
+    workload=WorkloadSpec(broadcasts=8),
+    seeds=SeedPolicy(base_seed=90),
+)
+
+#: Per-protocol options (bound adaptive diffusion so lossy runs terminate).
+PROTOCOL_OPTIONS = {
+    "three_phase": {"group_size": 5, "diffusion_depth": 3},
+    "adaptive_diffusion": {"max_rounds": 10, "max_time": 500.0},
+}
 
 
-def build_protocol(name):
-    """Instantiate each registered protocol with sensible face-off options."""
-    if name == "three_phase":
-        return create_protocol(
-            name, config=ProtocolConfig(group_size=5, diffusion_depth=3)
-        )
-    if name == "adaptive_diffusion":
-        # Bound the otherwise unterminated diffusion so lossy runs finish.
-        return create_protocol(
-            name,
-            config=AdaptiveDiffusionConfig(max_rounds=10),
-            max_time=500.0,
-        )
-    return create_protocol(name)
-
-
-def faceoff(overlay, conditions):
+def faceoff(conditions):
     rows = []
     for name in available_protocols():
-        result = run_attack_experiment(
-            overlay,
-            build_protocol(name),
-            ADVERSARY_FRACTION,
-            broadcasts=BROADCASTS,
-            seed=90,
-            conditions=conditions,
+        result = run_scenario_once(
+            BASE.derive(
+                protocol=name,
+                protocol_options=PROTOCOL_OPTIONS.get(name, {}),
+                conditions=conditions,
+            )
         )
         rows.append(
             [
@@ -64,40 +67,39 @@ def faceoff(overlay, conditions):
 
 
 def main() -> None:
-    overlay = random_regular_overlay(150, degree=8, seed=21)
     headers = [
         "protocol", "detection prob.", "messages/broadcast", "mean reach",
         "anonymity floor",
     ]
 
-    clean = NetworkConditions.internet_like()
     print(
         format_table(
             headers,
-            faceoff(overlay, clean),
+            faceoff(BASE.conditions),
             title=(
                 f"All registered protocols, identical clean conditions "
-                f"({ADVERSARY_FRACTION:.0%} first-spy adversary, "
-                f"{BROADCASTS} broadcasts)"
+                f"({BASE.adversary.fraction:.0%} first-spy adversary, "
+                f"{BASE.workload.broadcasts} broadcasts)"
             ),
         )
     )
     print()
 
-    lossy = NetworkConditions.internet_like(loss_probability=0.1)
+    lossy = ConditionsSpec(loss_probability=0.1)
     print(
         format_table(
             headers,
-            faceoff(overlay, lossy),
+            faceoff(lossy),
             title="Same face-off with 10% per-link message loss",
         )
     )
     print()
     print(
-        "Every row ran through the same registry entry point "
-        "(repro.protocols.create_protocol + run_attack_experiment) under the "
-        "same NetworkConditions; swap estimator='rumor_centrality' to attack "
-        "with the snapshot adversary instead of first-spy."
+        "Every row ran through the same declarative entry point "
+        "(ScenarioSpec.derive + run_scenario_once) under the same "
+        "conditions spec; set estimator='rumor_centrality' in the "
+        "AdversarySpec to attack with the snapshot adversary instead of "
+        "first-spy."
     )
 
 

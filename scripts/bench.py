@@ -26,6 +26,7 @@ No third-party dependencies beyond what ``repro`` itself needs.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import os
 import subprocess
@@ -97,8 +98,15 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--scenarios",
         nargs="+",
-        metavar="NAME",
-        help="explicit scenario names (overrides --smoke selection)",
+        metavar="PATTERN",
+        help="scenario names or fnmatch patterns, e.g. 'e11_*' "
+        "(overrides --smoke selection)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the tracked scenarios (name, smoke membership, "
+        "description) and exit",
     )
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--warmup", type=int, default=1)
@@ -152,8 +160,29 @@ def main(argv: Optional[list] = None) -> int:
     sys.path.insert(0, str(REPO_ROOT))  # for benchmarks.harness
     from benchmarks import harness
 
+    if args.list:
+        for name in harness.scenario_names():
+            scenario = harness.SCENARIOS[name]
+            marker = "smoke" if scenario.smoke else "     "
+            print(f"{name:24s} [{marker}] {scenario.description}")
+        return 0
+
     if args.scenarios:
-        names = args.scenarios
+        # Patterns select from the tracked suite (an exact name is its own
+        # pattern); a pattern matching nothing fails with the available
+        # names.
+        names = []
+        for pattern in args.scenarios:
+            matched = fnmatch.filter(harness.scenario_names(), pattern)
+            if not matched:
+                available = ", ".join(harness.scenario_names())
+                parser.error(
+                    f"--scenarios pattern {pattern!r} matches no tracked "
+                    f"scenario (available: {available})"
+                )
+            for name in matched:
+                if name not in names:
+                    names.append(name)
     else:
         names = harness.scenario_names(smoke_only=args.smoke)
 

@@ -105,9 +105,23 @@ class ExperimentResult:
 
 
 def _pick_sources(
-    graph: nx.Graph, count: int, rng: random.Random
+    graph: nx.Graph,
+    count: int,
+    rng: random.Random,
+    sender_pool: Optional[int] = None,
 ) -> List[Hashable]:
     nodes = sorted(graph.nodes, key=repr)
+    if sender_pool is not None:
+        # Mixed multi-sender workloads: every broadcast originates from a
+        # small, fixed set of senders (wallet hosts, exchange gateways)
+        # instead of the whole network.  The pool draw happens before the
+        # per-broadcast choices, and only when a pool is requested — the
+        # default consumes exactly the historical draws.
+        if not 1 <= sender_pool <= len(nodes):
+            raise ValueError(
+                "sender_pool must be between 1 and the overlay size"
+            )
+        nodes = sorted(rng.sample(nodes, sender_pool), key=repr)
     return [rng.choice(nodes) for _ in range(count)]
 
 
@@ -119,6 +133,8 @@ def run_attack_experiment(
     seed: int = 0,
     conditions: Optional[NetworkConditions] = None,
     estimator: Union[str, EstimatorFactory] = "first_spy",
+    sender_pool: Optional[int] = None,
+    session_hook: Optional[Callable[[object], None]] = None,
 ) -> ExperimentResult:
     """Run the deanonymisation experiment against one registered protocol.
 
@@ -137,6 +153,16 @@ def run_attack_experiment(
             internet-like per-edge latency.
         estimator: estimator name (``"first_spy"``, ``"rumor_centrality"``)
             or a custom factory.
+        sender_pool: when given, the broadcast sources are drawn from a
+            fixed random pool of this many nodes instead of the whole
+            overlay (mixed multi-sender workloads).  ``None`` keeps the
+            historical whole-network source schedule draw-for-draw.
+        session_hook: called with every freshly built
+            :class:`~repro.protocols.base.ProtocolSession` before any
+            broadcast runs on it — the seam through which the scenario
+            layer installs environment state such as a
+            :class:`~repro.network.churn.ChurnSchedule`.  ``None`` changes
+            nothing.
 
     Session handling follows the protocol's declaration: a
     ``shared_session`` protocol (three-phase) builds one session for all
@@ -159,13 +185,15 @@ def run_attack_experiment(
     estimator_name, estimator_factory = resolve_estimator(estimator)
 
     rng = random.Random(seed)
-    sources = _pick_sources(graph, broadcasts, rng)
+    sources = _pick_sources(graph, broadcasts, rng, sender_pool=sender_pool)
     outcomes: List[Tuple[Hashable, Optional[Hashable]]] = []
     message_counts: List[float] = []
     reaches: List[float] = []
 
     if proto.shared_session:
         session = proto.build(graph, conditions, seed=seed)
+        if session_hook is not None:
+            session_hook(session)
         botnet = deploy_botnet(
             graph, adversary_fraction, rng, protected=set(sources)
         )
@@ -180,6 +208,8 @@ def run_attack_experiment(
         for index, source in enumerate(sources):
             run_seed = seed * 1000 + index
             session = proto.build(graph, conditions, seed=run_seed)
+            if session_hook is not None:
+                session_hook(session)
             botnet = deploy_botnet(
                 graph, adversary_fraction, session.rng, protected={source}
             )

@@ -14,6 +14,11 @@ describe — its "first simulation" of 1,000 peers — so it is built here as a
 reusable substrate.
 """
 
+from repro.network.churn import (
+    ChurnEvent,
+    ChurnSchedule,
+    random_churn_schedule,
+)
 from repro.network.conditions import NetworkConditions
 from repro.network.events import Event, EventQueue
 from repro.network.latency import (
@@ -36,10 +41,15 @@ from repro.network.topology import (
     line_overlay,
     random_regular_overlay,
     regular_tree_overlay,
+    scale_free_overlay,
+    small_world_overlay,
     watts_strogatz_overlay,
 )
 
 __all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
+    "random_churn_schedule",
     "NetworkConditions",
     "Event",
     "EventQueue",
@@ -61,5 +71,7 @@ __all__ = [
     "line_overlay",
     "random_regular_overlay",
     "regular_tree_overlay",
+    "scale_free_overlay",
+    "small_world_overlay",
     "watts_strogatz_overlay",
 ]

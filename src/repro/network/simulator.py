@@ -118,6 +118,11 @@ class Simulator:
         self._adjacency: Dict[Hashable, FrozenSet[Hashable]] = {}
         self._dropped_total = 0
         self._dropped_by_payload: Dict[Hashable, int] = {}
+        # Churn: nodes currently offline.  The set is shared (never
+        # rebound), so the run loop can bind it once as a local — an empty
+        # set makes every offline check a single falsy test.
+        self._offline: set = set()
+        self._churn_dropped = 0
         # Per-event fast path: the conditions object is frozen and the
         # latency model / store are fixed for the simulator's lifetime, so
         # their hot attributes are resolved exactly once.
@@ -160,11 +165,17 @@ class Simulator:
 
         Returns a cached immutable tuple — the same object on every call —
         so flood/gossip fan-outs iterate it without a per-call list copy.
-        Callers must treat it as read-only.
+        Callers must treat it as read-only.  Nodes currently offline
+        (:meth:`fail_node`) are excluded; churn events invalidate the cache.
         """
         cached = self._neighbour_cache.get(node_id)
         if cached is None:
-            cached = tuple(sorted(self.graph.neighbors(node_id), key=repr))
+            offline = self._offline
+            cached = tuple(
+                peer
+                for peer in sorted(self.graph.neighbors(node_id), key=repr)
+                if peer not in offline
+            )
             self._neighbour_cache[node_id] = cached
         return cached
 
@@ -192,6 +203,55 @@ class Simulator:
         """
         self._neighbour_cache.clear()
         self._adjacency.clear()
+
+    # ------------------------------------------------------------------
+    # Churn: node failures and rejoins
+    # ------------------------------------------------------------------
+    def fail_node(self, node_id: Hashable) -> None:
+        """Take ``node_id`` offline (crash/disconnect semantics).
+
+        While offline the node sends and receives nothing: its outgoing and
+        incoming overlay *and* direct transmissions are dropped (counted in
+        :attr:`churn_dropped`), messages already in flight towards it are
+        dropped at delivery time, and it disappears from every other node's
+        :meth:`neighbours_of` tuple.  Its graph vertex, protocol state and
+        pending timers survive, so :meth:`restore_node` is cheap.
+
+        The fast-path neighbour/adjacency caches are invalidated — typically
+        called from a :class:`~repro.network.churn.ChurnSchedule` event
+        mid-run, after which fan-outs must see the shrunken topology.
+
+        Idempotent; failing an unknown node raises ``ValueError``.
+        """
+        if node_id not in self.graph:
+            raise ValueError(f"node {node_id!r} is not part of the overlay")
+        if node_id in self._offline:
+            return
+        self._offline.add(node_id)
+        self.invalidate_topology_caches()
+
+    def restore_node(self, node_id: Hashable) -> None:
+        """Bring a failed node back online (idempotent).
+
+        The node resumes exactly where it crashed: same behaviour object,
+        same protocol state, no replay of what it missed — payloads that
+        spread while it was gone stay unknown to it unless a neighbour
+        forwards them again.
+        """
+        if node_id not in self._offline:
+            return
+        self._offline.discard(node_id)
+        self.invalidate_topology_caches()
+
+    @property
+    def offline_nodes(self) -> FrozenSet[Hashable]:
+        """The nodes currently offline."""
+        return frozenset(self._offline)
+
+    @property
+    def churn_dropped(self) -> int:
+        """Transmissions dropped because an endpoint was offline."""
+        return self._churn_dropped
 
     # ------------------------------------------------------------------
     # Time and events
@@ -237,6 +297,10 @@ class Simulator:
                 raise ValueError(
                     f"no overlay edge between {sender!r} and {receiver!r}"
                 )
+        offline = self._offline
+        if offline and (sender in offline or receiver in offline):
+            self._churn_dropped += 1
+            return
         delay = self._delay(sender, receiver)
         if not direct:
             loss = self._loss_probability
@@ -294,6 +358,10 @@ class Simulator:
         pop_item_until = queue.pop_item_until
         nodes = self._nodes
         record = self._record
+        # The offline set is mutated in place (never rebound), so this local
+        # stays current; while empty — the common case — each delivery pays
+        # only one falsy check for churn support.
+        offline = self._offline
         while True:
             if executed >= event_cap:
                 # Only counts as hitting the limit if something within the
@@ -311,6 +379,12 @@ class Simulator:
                 self._now = time
             if item.__class__ is tuple:
                 receiver, sender, message, direct = item
+                if offline and receiver in offline:
+                    # In flight when the receiver went down: dropped, never
+                    # observed — a crashed node records nothing.
+                    self._churn_dropped += 1
+                    executed += 1
+                    continue
                 record(
                     Observation(self._now, receiver, sender, message, direct)
                 )

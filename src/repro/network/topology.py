@@ -94,6 +94,58 @@ def watts_strogatz_overlay(
     return _require_connected(graph, "watts_strogatz_overlay")
 
 
+def small_world_overlay(
+    num_nodes: int,
+    neighbours: int = 8,
+    shortcut_probability: float = 0.1,
+    seed: Optional[int] = None,
+) -> nx.Graph:
+    """A Newman–Watts small-world overlay (ring lattice plus shortcuts).
+
+    Unlike the rewiring Watts–Strogatz construction, Newman–Watts only
+    *adds* shortcut edges to the ring lattice, so the generated overlay is
+    connected by construction — high clustering like a social/regional peer
+    graph, with a few long-range links keeping the diameter short.
+    """
+    if num_nodes < 3:
+        raise ValueError("need at least three nodes for a ring lattice")
+    if not 0.0 <= shortcut_probability <= 1.0:
+        raise ValueError("shortcut probability must be in [0, 1]")
+    graph = nx.newman_watts_strogatz_graph(
+        num_nodes, neighbours, shortcut_probability, seed=seed
+    )
+    return _require_connected(graph, "small_world_overlay")
+
+
+def scale_free_overlay(
+    num_nodes: int,
+    attachments: int = 4,
+    triangle_probability: float = 0.3,
+    seed: Optional[int] = None,
+) -> nx.Graph:
+    """A clustered scale-free overlay (Holme–Kim powerlaw cluster graph).
+
+    Preferential attachment produces the hub-heavy degree distribution of
+    unmanaged peer-to-peer networks (a few supernode-like peers carry most
+    links); the triangle-formation step adds the clustering plain
+    Barabási–Albert lacks.  The generator retries with fresh seeds until the
+    sampled graph is connected.
+    """
+    if num_nodes <= attachments:
+        raise ValueError("need more nodes than attachments per step")
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise ValueError("triangle probability must be in [0, 1]")
+    rng = _seeded(seed)
+    for _ in range(100):
+        candidate = nx.powerlaw_cluster_graph(
+            num_nodes, attachments, triangle_probability,
+            seed=rng.randrange(2**31),
+        )
+        if nx.is_connected(candidate):
+            return candidate
+    raise RuntimeError("failed to sample a connected scale-free graph")
+
+
 def line_overlay(num_nodes: int) -> nx.Graph:
     """A simple path graph; the idealised Dandelion stem topology."""
     if num_nodes < 2:

@@ -124,6 +124,7 @@ class GossipProtocol(BroadcastProtocol):
 
     name = "gossip"
     message_kinds = (GossipNode.MESSAGE_KIND,)
+    config_class = GossipConfig
 
     def __init__(self, config: Optional[GossipConfig] = None) -> None:
         self.config = config or GossipConfig()
@@ -157,6 +158,7 @@ class DandelionProtocol(BroadcastProtocol):
 
     name = "dandelion"
     message_kinds = (DandelionNode.STEM_KIND, DandelionNode.FLUFF_KIND)
+    config_class = DandelionConfig
 
     def __init__(self, config: Optional[DandelionConfig] = None) -> None:
         self.config = config or DandelionConfig()
@@ -202,6 +204,8 @@ class AdaptiveDiffusionProtocol(BroadcastProtocol):
 
     name = "adaptive_diffusion"
     message_kinds = _AD_KINDS
+    config_class = AdaptiveDiffusionConfig
+    extra_option_keys = ("max_time",)
 
     def __init__(
         self,
@@ -256,6 +260,7 @@ class ThreePhaseProtocol(BroadcastProtocol):
         ThreePhaseNode.FLOOD_KIND,
     )
     shared_session = True
+    config_class = ProtocolConfig
 
     def __init__(self, config: Optional[ProtocolConfig] = None) -> None:
         self.config = config or ProtocolConfig()

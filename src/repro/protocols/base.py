@@ -97,6 +97,40 @@ class BroadcastProtocol(abc.ABC):
     message_kinds: ClassVar[Tuple[str, ...]] = ()
     #: Whether many broadcasts share one session (see module docstring).
     shared_session: ClassVar[bool] = False
+    #: Config dataclass behind the adapter's ``config`` keyword, or ``None``
+    #: when the constructor takes flat keywords directly.  Declaring it
+    #: makes the adapter constructible from serialized options
+    #: (:meth:`from_options`) without per-protocol knowledge anywhere else.
+    config_class: ClassVar[Optional[type]] = None
+    #: Option keys :meth:`from_options` forwards to the constructor itself
+    #: instead of the config object (e.g. a runner bound like ``max_time``).
+    extra_option_keys: ClassVar[Tuple[str, ...]] = ()
+
+    @classmethod
+    def from_options(cls, **options: Any) -> "BroadcastProtocol":
+        """Instantiate the adapter from flat, serializable options.
+
+        The seam the declarative scenario layer builds protocols through:
+        ``{"group_size": 5}`` becomes ``cls(config=ConfigClass(group_size=5))``
+        for adapters declaring a :attr:`config_class`, keys listed in
+        :attr:`extra_option_keys` go to the constructor directly, and
+        adapters without a config class receive all options as constructor
+        keywords.  No options means all defaults.
+
+        Raises:
+            TypeError: for options neither the config nor the constructor
+                accepts.
+        """
+        if cls.config_class is None:
+            return cls(**options)
+        kwargs: dict = {
+            key: options.pop(key)
+            for key in tuple(options)
+            if key in cls.extra_option_keys
+        }
+        if options:
+            kwargs["config"] = cls.config_class(**options)
+        return cls(**kwargs)
 
     def anonymity_floor(self) -> int:
         """Smallest anonymity set guaranteed by construction (default 1)."""

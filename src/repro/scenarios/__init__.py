@@ -1,0 +1,67 @@
+"""Declarative scenario engine: specs, registry, presets and runner.
+
+One layer describes every experiment of this repository as data — overlay
+topology, network conditions, protocol, adversary, workload, seeds and
+churn — and one runner executes it:
+
+    >>> from repro.scenarios import ScenarioRunner, scenario
+    >>> result = ScenarioRunner(processes=1).run(scenario("stress_lossy_wan"))
+    >>> 0.0 < result.aggregate["mean_reach"] < 1.0
+    True
+
+``scripts/scenario.py`` is the CLI over this package (``list`` /
+``describe`` / ``run``); ``docs/SCENARIOS.md`` catalogues the registered
+presets.  Importing the package registers the built-in presets.
+"""
+
+from repro.scenarios.registry import (
+    available_scenarios,
+    register_scenario,
+    scenario,
+)
+from repro.scenarios.runner import (
+    CompiledScenario,
+    ScenarioResult,
+    ScenarioRunner,
+    build_protocol,
+    build_session,
+    compile_scenario,
+    experiment_metrics,
+    observation_log_digest,
+    run_scenario_once,
+)
+from repro.scenarios.spec import (
+    TOPOLOGY_FAMILIES,
+    AdversarySpec,
+    ChurnSpec,
+    ConditionsSpec,
+    ScenarioSpec,
+    SeedPolicy,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+from repro.scenarios import presets as _presets  # noqa: F401  (registers presets)
+
+__all__ = [
+    "available_scenarios",
+    "register_scenario",
+    "scenario",
+    "CompiledScenario",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "build_protocol",
+    "build_session",
+    "compile_scenario",
+    "experiment_metrics",
+    "observation_log_digest",
+    "run_scenario_once",
+    "TOPOLOGY_FAMILIES",
+    "AdversarySpec",
+    "ChurnSpec",
+    "ConditionsSpec",
+    "ScenarioSpec",
+    "SeedPolicy",
+    "TopologySpec",
+    "WorkloadSpec",
+]

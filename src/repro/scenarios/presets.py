@@ -1,0 +1,324 @@
+"""Registered scenario presets: the paper's E1–E12 settings plus stress.
+
+Importing this module (which ``import repro.scenarios`` does) registers two
+families of presets:
+
+* ``e1``–``e12`` — the network settings of the benchmark suite
+  (``benchmarks/test_bench_e*.py``), one preset per experiment id, with the
+  same overlays (family, size, seed), conditions, protocol parameters and
+  master seeds the benchmarks use.  Benchmarks that sweep a parameter
+  derive their grid points from the preset with
+  :meth:`~repro.scenarios.spec.ScenarioSpec.derive`.
+* ``stress_*`` — scenarios beyond the paper's evaluation: a lossy
+  wide-area network, a hub-dominated scale-free overlay, node churn with
+  and without rejoin, and a mixed multi-sender workload.
+
+``docs/SCENARIOS.md`` catalogues every preset with its intent and expected
+behaviour; ``scripts/scenario.py list`` prints this registry.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.spec import (
+    AdversarySpec,
+    ChurnSpec,
+    ConditionsSpec,
+    ScenarioSpec,
+    SeedPolicy,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+# ---------------------------------------------------------------------------
+# Shared building blocks (the benchmark fixtures, as data)
+# ---------------------------------------------------------------------------
+
+#: The paper's evaluation overlay: 1,000 peers, Bitcoin-like degree 8.
+OVERLAY_1000 = TopologySpec(
+    "random_regular", {"num_nodes": 1000, "degree": 8, "seed": 42}
+)
+#: The attack-experiment overlay (kept small for many repetitions).
+OVERLAY_200 = TopologySpec(
+    "random_regular", {"num_nodes": 200, "degree": 8, "seed": 43}
+)
+#: The sweep overlay of the face-off experiments.
+OVERLAY_100 = TopologySpec(
+    "random_regular", {"num_nodes": 100, "degree": 8, "seed": 44}
+)
+#: The scale benchmark overlay (E11).
+OVERLAY_2000 = TopologySpec(
+    "random_regular", {"num_nodes": 2000, "degree": 8, "seed": 45}
+)
+
+#: Constant 0.1 latency: the historical three-phase environment.
+IDEAL = ConditionsSpec(kind="ideal", delay=0.1)
+#: Stable per-edge 50–300 ms delays: the historical baseline environment.
+INTERNET = ConditionsSpec()
+
+NO_ADVERSARY = AdversarySpec(fraction=0.0)
+
+# ---------------------------------------------------------------------------
+# Paper presets (E1–E12)
+# ---------------------------------------------------------------------------
+
+E1 = register_scenario(ScenarioSpec(
+    name="e1_message_overhead",
+    description="Flood message cost on the paper's 1,000-peer overlay",
+    topology=OVERLAY_1000,
+    conditions=IDEAL,
+    protocol="flood",
+    adversary=NO_ADVERSARY,
+    workload=WorkloadSpec(broadcasts=3),
+    seeds=SeedPolicy(base_seed=0, repetitions=3),
+    tags=("paper", "e1"),
+))
+
+E2 = register_scenario(ScenarioSpec(
+    name="e2_dcnet_cost",
+    description="Three-phase broadcast with a large (k=8) DC-net group",
+    topology=TopologySpec("complete", {"num_nodes": 24}),
+    conditions=IDEAL,
+    protocol="three_phase",
+    protocol_options={"group_size": 8, "diffusion_depth": 2},
+    adversary=NO_ADVERSARY,
+    workload=WorkloadSpec(broadcasts=2),
+    seeds=SeedPolicy(base_seed=2),
+    tags=("paper", "e2"),
+))
+
+E3 = register_scenario(ScenarioSpec(
+    name="e3_privacy_performance_landscape",
+    description="The paper's protocol in the privacy-performance landscape",
+    topology=OVERLAY_200,
+    conditions=IDEAL,
+    protocol="three_phase",
+    protocol_options={"group_size": 5, "diffusion_depth": 3},
+    adversary=AdversarySpec(fraction=0.2),
+    workload=WorkloadSpec(broadcasts=10),
+    seeds=SeedPolicy(base_seed=3),
+    tags=("paper", "e3"),
+))
+
+E4 = register_scenario(ScenarioSpec(
+    name="e4_broadcast_deanonymization",
+    description="First-spy botnet attack against plain flooding",
+    topology=OVERLAY_200,
+    conditions=INTERNET,
+    protocol="flood",
+    adversary=AdversarySpec(fraction=0.2),
+    workload=WorkloadSpec(broadcasts=12),
+    seeds=SeedPolicy(base_seed=10),
+    tags=("paper", "e4"),
+))
+
+E5 = register_scenario(ScenarioSpec(
+    name="e5_dandelion_baseline",
+    description="Dandelion stem/fluff lowering first-spy accuracy",
+    topology=OVERLAY_200,
+    conditions=INTERNET,
+    protocol="dandelion",
+    protocol_options={"fluff_probability": 0.1},
+    adversary=AdversarySpec(fraction=0.25),
+    workload=WorkloadSpec(broadcasts=12),
+    seeds=SeedPolicy(base_seed=21),
+    tags=("paper", "e5"),
+))
+
+E6 = register_scenario(ScenarioSpec(
+    name="e6_dcnet_round",
+    description="DC-net round traffic inside a complete group overlay",
+    topology=TopologySpec("complete", {"num_nodes": 16}),
+    conditions=IDEAL,
+    protocol="three_phase",
+    protocol_options={"group_size": 8, "diffusion_depth": 1},
+    adversary=NO_ADVERSARY,
+    workload=WorkloadSpec(broadcasts=1),
+    seeds=SeedPolicy(base_seed=0),
+    tags=("paper", "e6"),
+))
+
+E7 = register_scenario(ScenarioSpec(
+    name="e7_three_phase_end_to_end",
+    description="The three-phase protocol end to end on 200 peers",
+    topology=OVERLAY_200,
+    conditions=IDEAL,
+    protocol="three_phase",
+    protocol_options={"group_size": 5, "diffusion_depth": 3},
+    adversary=NO_ADVERSARY,
+    workload=WorkloadSpec(broadcasts=5),
+    seeds=SeedPolicy(base_seed=5),
+    tags=("paper", "e7"),
+))
+
+E8 = register_scenario(ScenarioSpec(
+    name="e8_privacy_bounds",
+    description="Outside-observer detection against the three-phase protocol",
+    topology=OVERLAY_200,
+    conditions=IDEAL,
+    protocol="three_phase",
+    protocol_options={"group_size": 6, "diffusion_depth": 3},
+    adversary=AdversarySpec(fraction=0.2),
+    workload=WorkloadSpec(broadcasts=10),
+    seeds=SeedPolicy(base_seed=31),
+    tags=("paper", "e8"),
+))
+
+E9 = register_scenario(ScenarioSpec(
+    name="e9_group_overlap",
+    description="Groups of 5 over 60 peers (the overlap-smoothing setting)",
+    topology=TopologySpec(
+        "random_regular", {"num_nodes": 60, "degree": 6, "seed": 9}
+    ),
+    conditions=IDEAL,
+    protocol="three_phase",
+    protocol_options={"group_size": 5, "diffusion_depth": 2},
+    adversary=NO_ADVERSARY,
+    workload=WorkloadSpec(broadcasts=3),
+    seeds=SeedPolicy(base_seed=9),
+    tags=("paper", "e9"),
+))
+
+E10 = register_scenario(ScenarioSpec(
+    name="e10_latency_tradeoff",
+    description="Completion-time cost of the privacy phases",
+    topology=OVERLAY_200,
+    conditions=IDEAL,
+    protocol="three_phase",
+    protocol_options={"group_size": 5, "diffusion_depth": 3},
+    adversary=NO_ADVERSARY,
+    workload=WorkloadSpec(broadcasts=1),
+    seeds=SeedPolicy(base_seed=1),
+    tags=("paper", "e10"),
+))
+
+E11 = register_scenario(ScenarioSpec(
+    name="e11_scale",
+    description="Flood at 2,000 peers (the scale benchmark's smallest size)",
+    topology=OVERLAY_2000,
+    conditions=IDEAL,
+    protocol="flood",
+    adversary=NO_ADVERSARY,
+    workload=WorkloadSpec(broadcasts=1),
+    seeds=SeedPolicy(base_seed=7, repetitions=2),
+    tags=("paper", "e11"),
+))
+
+E12 = register_scenario(ScenarioSpec(
+    name="e12_protocol_faceoff",
+    description="Registry face-off environment (derive per-protocol variants)",
+    topology=OVERLAY_100,
+    conditions=INTERNET,
+    protocol="three_phase",
+    protocol_options={"group_size": 5, "diffusion_depth": 3},
+    adversary=AdversarySpec(fraction=0.2),
+    workload=WorkloadSpec(broadcasts=6),
+    seeds=SeedPolicy(base_seed=12),
+    tags=("paper", "e12"),
+))
+
+# ---------------------------------------------------------------------------
+# Stress presets (beyond the paper)
+# ---------------------------------------------------------------------------
+
+STRESS_LOSSY_WAN = register_scenario(ScenarioSpec(
+    name="stress_lossy_wan",
+    description="Flood across a lossy, jittery wide-area network",
+    topology=TopologySpec(
+        "random_regular", {"num_nodes": 150, "degree": 8, "seed": 101}
+    ),
+    conditions=ConditionsSpec(
+        kind="internet_like", low=0.1, high=0.6,
+        loss_probability=0.15, jitter=0.2,
+    ),
+    protocol="flood",
+    adversary=AdversarySpec(fraction=0.2),
+    workload=WorkloadSpec(broadcasts=10),
+    seeds=SeedPolicy(base_seed=7, repetitions=3),
+    tags=("stress", "lossy"),
+))
+
+STRESS_SUPERNODE_HUB = register_scenario(ScenarioSpec(
+    name="stress_supernode_hub",
+    description="Dandelion on a hub-dominated scale-free overlay",
+    topology=TopologySpec(
+        "scale_free",
+        {"num_nodes": 150, "attachments": 6,
+         "triangle_probability": 0.3, "seed": 102},
+    ),
+    conditions=INTERNET,
+    protocol="dandelion",
+    protocol_options={"fluff_probability": 0.1},
+    adversary=AdversarySpec(fraction=0.25),
+    workload=WorkloadSpec(broadcasts=10),
+    seeds=SeedPolicy(base_seed=8, repetitions=3),
+    tags=("stress", "topology"),
+))
+
+STRESS_NODE_CHURN = register_scenario(ScenarioSpec(
+    name="stress_node_churn",
+    description="20% of peers crash mid-broadcast and never return",
+    topology=TopologySpec(
+        "random_regular", {"num_nodes": 150, "degree": 8, "seed": 103}
+    ),
+    conditions=INTERNET,
+    protocol="flood",
+    adversary=AdversarySpec(fraction=0.1),
+    workload=WorkloadSpec(broadcasts=8),
+    seeds=SeedPolicy(base_seed=9, repetitions=3),
+    churn=ChurnSpec(leave_fraction=0.2, leave_time=0.15),
+    tags=("stress", "churn"),
+))
+
+STRESS_CHURN_REJOIN = register_scenario(ScenarioSpec(
+    name="stress_churn_rejoin",
+    description="30% of peers flap (leave, rejoin one time unit later)",
+    topology=TopologySpec(
+        "small_world",
+        {"num_nodes": 120, "neighbours": 8,
+         "shortcut_probability": 0.1, "seed": 104},
+    ),
+    conditions=INTERNET,
+    protocol="flood",
+    adversary=AdversarySpec(fraction=0.1),
+    workload=WorkloadSpec(broadcasts=8),
+    seeds=SeedPolicy(base_seed=10, repetitions=3),
+    churn=ChurnSpec(leave_fraction=0.3, leave_time=0.1, rejoin_after=1.0),
+    tags=("stress", "churn"),
+))
+
+STRESS_MIXED_SENDERS = register_scenario(ScenarioSpec(
+    name="stress_mixed_senders",
+    description="All traffic from five wallet hosts, three-phase protocol",
+    topology=TopologySpec(
+        "small_world",
+        {"num_nodes": 150, "neighbours": 8,
+         "shortcut_probability": 0.1, "seed": 105},
+    ),
+    conditions=IDEAL,
+    protocol="three_phase",
+    protocol_options={"group_size": 5, "diffusion_depth": 3},
+    adversary=AdversarySpec(fraction=0.2),
+    workload=WorkloadSpec(broadcasts=10, sender_pool=5),
+    seeds=SeedPolicy(base_seed=11, repetitions=3),
+    tags=("stress", "workload"),
+))
+
+# ---------------------------------------------------------------------------
+# Example presets
+# ---------------------------------------------------------------------------
+
+QUICKSTART = register_scenario(ScenarioSpec(
+    name="quickstart",
+    description="One three-phase broadcast on 300 peers (the README demo)",
+    topology=TopologySpec(
+        "random_regular", {"num_nodes": 300, "degree": 8, "seed": 1}
+    ),
+    conditions=IDEAL,
+    protocol="three_phase",
+    protocol_options={"group_size": 5, "diffusion_depth": 4},
+    adversary=NO_ADVERSARY,
+    workload=WorkloadSpec(broadcasts=1),
+    seeds=SeedPolicy(base_seed=2),
+    tags=("example",),
+))

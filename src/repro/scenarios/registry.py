@@ -1,0 +1,58 @@
+"""Name-based registry of scenario presets.
+
+The registry does for *experiments* what :mod:`repro.protocols.registry`
+does for protocols: every :class:`~repro.scenarios.spec.ScenarioSpec`
+registered here is addressable by name from the CLI
+(``scripts/scenario.py``), the benchmarks and the examples.  Importing
+:mod:`repro.scenarios` registers the built-in presets — the paper's E1–E12
+evaluation settings plus the stress scenarios (see
+:mod:`repro.scenarios.presets` and ``docs/SCENARIOS.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.scenarios.spec import ScenarioSpec
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add ``spec`` to the registry under ``spec.name``.
+
+    Returns the spec so preset modules can register and bind in one line.
+
+    Raises:
+        ValueError: when the name is already taken.
+    """
+    if spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def available_scenarios(tag: str = "") -> Tuple[str, ...]:
+    """Sorted names of every registered scenario (optionally one tag only)."""
+    return tuple(
+        sorted(
+            name
+            for name, spec in _REGISTRY.items()
+            if not tag or tag in spec.tags
+        )
+    )
+
+
+def scenario(name: str) -> ScenarioSpec:
+    """The spec registered under ``name``.
+
+    Raises:
+        ValueError: for an unknown scenario name.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise ValueError(
+            f"unknown scenario {name!r} (registered: {known})"
+        ) from None

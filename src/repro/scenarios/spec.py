@@ -1,0 +1,347 @@
+"""Declarative experiment specifications.
+
+Every experiment in this repository is a point in the same grid: an overlay
+*topology*, one set of *network conditions*, a *protocol* from the registry,
+an *adversary* with an estimator, a *workload* of broadcasts, a *seed
+policy*, and optionally a *churn* schedule.  :class:`ScenarioSpec` captures
+that point as pure data — every field JSON-serializable, every run derivable
+from the spec alone — so experiments can be named, catalogued
+(:mod:`repro.scenarios.registry`), listed and executed from one CLI
+(``scripts/scenario.py``), and diffed as text instead of as setup code.
+
+A spec never holds live objects (graphs, simulators, protocol adapters);
+compilation into those lives in :mod:`repro.scenarios.runner`.  The split
+mirrors declarative simulation frameworks for sensor networks, where a
+``models/`` layer describes scenarios and a single ``run`` entry point
+enumerates and executes them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.network.churn import ChurnEvent, ChurnSchedule, random_churn_schedule
+from repro.network.conditions import NetworkConditions
+from repro.network.latency import ConstantLatency
+from repro.network.topology import (
+    barabasi_albert_overlay,
+    bitcoin_like_overlay,
+    complete_overlay,
+    erdos_renyi_overlay,
+    line_overlay,
+    random_regular_overlay,
+    regular_tree_overlay,
+    scale_free_overlay,
+    small_world_overlay,
+    watts_strogatz_overlay,
+)
+
+#: Topology families addressable from a :class:`TopologySpec`.  Every value
+#: is a generator from :mod:`repro.network.topology` (all guarantee a
+#: connected overlay).
+TOPOLOGY_FAMILIES = {
+    "random_regular": random_regular_overlay,
+    "erdos_renyi": erdos_renyi_overlay,
+    "barabasi_albert": barabasi_albert_overlay,
+    "watts_strogatz": watts_strogatz_overlay,
+    "small_world": small_world_overlay,
+    "scale_free": scale_free_overlay,
+    "line": line_overlay,
+    "regular_tree": regular_tree_overlay,
+    "complete": complete_overlay,
+    "bitcoin_like": bitcoin_like_overlay,
+}
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """An overlay topology as (family name, generator parameters).
+
+    Example:
+        >>> TopologySpec("random_regular",
+        ...              {"num_nodes": 200, "degree": 8, "seed": 43})
+        TopologySpec(family='random_regular', params={'num_nodes': 200, 'degree': 8, 'seed': 43})
+
+    Pin a ``seed`` in ``params`` when the overlay must be identical across
+    runs (every registered preset does); families without a ``seed``
+    parameter (``line``, ``regular_tree``, ``complete``) are deterministic
+    by construction.
+    """
+
+    family: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.family not in TOPOLOGY_FAMILIES:
+            known = ", ".join(sorted(TOPOLOGY_FAMILIES))
+            raise ValueError(
+                f"unknown topology family {self.family!r} (known: {known})"
+            )
+
+    def build(self) -> nx.Graph:
+        """Generate the overlay this spec describes."""
+        return TOPOLOGY_FAMILIES[self.family](**dict(self.params))
+
+
+@dataclass(frozen=True)
+class ConditionsSpec:
+    """A serializable description of :class:`NetworkConditions`.
+
+    Two kinds cover every environment the experiments use:
+
+    * ``"ideal"`` — constant ``delay`` per link (the paper's abstract time
+      units);
+    * ``"internet_like"`` — stable per-edge delays drawn uniformly from
+      ``[low, high]`` (the Bitcoin-measurement-style environment).
+
+    Both combine with ``loss_probability`` and ``jitter`` exactly as
+    :class:`~repro.network.conditions.NetworkConditions` defines them.
+    """
+
+    kind: str = "internet_like"
+    delay: float = 0.1
+    low: float = 0.05
+    high: float = 0.3
+    loss_probability: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ideal", "internet_like"):
+            raise ValueError(
+                f"unknown conditions kind {self.kind!r} "
+                "(expected 'ideal' or 'internet_like')"
+            )
+
+    def build(self) -> NetworkConditions:
+        """Instantiate the :class:`NetworkConditions` this spec describes."""
+        if self.kind == "ideal":
+            return NetworkConditions(
+                latency=ConstantLatency(self.delay),
+                loss_probability=self.loss_probability,
+                jitter=self.jitter,
+            )
+        return NetworkConditions.internet_like(
+            self.low,
+            self.high,
+            loss_probability=self.loss_probability,
+            jitter=self.jitter,
+        )
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """The observer coalition and its source estimator.
+
+    ``fraction=0.0`` means no adversary (pure dissemination scenarios, e.g.
+    the message-overhead benchmarks); the estimator then always abstains.
+    """
+
+    fraction: float = 0.2
+    estimator: str = "first_spy"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction < 1.0:
+            raise ValueError("adversary fraction must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """How many broadcasts a run performs and who originates them.
+
+    ``sender_pool=None`` draws every source from the whole overlay (the
+    historical schedule); an integer restricts the sources to a fixed
+    random pool of that many nodes — the mixed multi-sender workload where
+    a handful of wallet hosts originate all traffic.
+    """
+
+    broadcasts: int = 10
+    sender_pool: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.broadcasts < 1:
+            raise ValueError("a workload needs at least one broadcast")
+        if self.sender_pool is not None and self.sender_pool < 1:
+            raise ValueError("sender_pool must be positive when given")
+
+
+@dataclass(frozen=True)
+class SeedPolicy:
+    """Master seed and repetition fan-out of a scenario.
+
+    Repetition ``r`` runs with seed ``base_seed + r`` (the
+    :func:`repro.analysis.sweep.derive_seed` schedule for one value with
+    one repetition per sweep point), so results are reproducible run for
+    run and independent of execution order or parallelism.
+    """
+
+    base_seed: int = 0
+    repetitions: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+
+    def seed_for(self, repetition: int) -> int:
+        """The run seed of one repetition."""
+        return self.base_seed + repetition
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Declarative node churn: who leaves when, and whether they return.
+
+    The random part (``leave_fraction`` of the overlay leaving at
+    ``leave_time``) is drawn per session from ``run_seed + seed_offset``,
+    so two repetitions churn different node sets while each stays exactly
+    reproducible.  ``events`` adds explicit, fully pinned churn events on
+    top (serialized as ``[time, node, action]`` triples).
+    """
+
+    leave_fraction: float = 0.0
+    leave_time: float = 0.25
+    rejoin_after: Optional[float] = None
+    seed_offset: int = 0xC4A2
+    events: Tuple[ChurnEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.leave_fraction < 1.0:
+            raise ValueError("leave_fraction must be in [0, 1)")
+        if self.leave_time < 0:
+            raise ValueError("leave_time must be non-negative")
+        if self.rejoin_after is not None and self.rejoin_after <= 0:
+            raise ValueError("rejoin_after must be positive when given")
+
+    def compile(self, graph: nx.Graph, run_seed: int) -> ChurnSchedule:
+        """The concrete schedule for one session."""
+        import random
+
+        schedule = random_churn_schedule(
+            graph,
+            self.leave_fraction,
+            self.leave_time,
+            rejoin_after=self.rejoin_after,
+            rng=random.Random(run_seed + self.seed_offset),
+        )
+        if self.events:
+            return ChurnSchedule(schedule.events + self.events)
+        return schedule
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, fully serializable experiment definition.
+
+    Example:
+        >>> spec = ScenarioSpec(
+        ...     name="demo",
+        ...     topology=TopologySpec("random_regular",
+        ...                           {"num_nodes": 60, "degree": 6, "seed": 1}),
+        ...     protocol="flood",
+        ... )
+        >>> ScenarioSpec.from_json(spec.to_json()) == spec
+        True
+
+    Attributes:
+        name: registry identifier.
+        topology: the overlay family and parameters.
+        conditions: the network environment.
+        protocol: a protocol name from :mod:`repro.protocols`.
+        protocol_options: keyword options for the protocol's config (e.g.
+            ``{"group_size": 5, "diffusion_depth": 3}`` for ``three_phase``).
+        adversary: observer fraction and estimator.
+        workload: broadcast count and sender pool.
+        seeds: master seed and repetition fan-out.
+        churn: optional failure/rejoin schedule.
+        description: one line for catalogues and the CLI.
+        tags: free-form labels (``"paper"``, ``"stress"``, ...).
+    """
+
+    name: str
+    topology: TopologySpec
+    conditions: ConditionsSpec = ConditionsSpec()
+    protocol: str = "flood"
+    protocol_options: Mapping[str, Any] = field(default_factory=dict)
+    adversary: AdversarySpec = AdversarySpec()
+    workload: WorkloadSpec = WorkloadSpec()
+    seeds: SeedPolicy = SeedPolicy()
+    churn: Optional[ChurnSpec] = None
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a non-empty name")
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def derive(self, **changes: Any) -> "ScenarioSpec":
+        """A copy of this spec with the given fields replaced.
+
+        The declarative counterpart of copy-pasting setup code: sweeps and
+        benchmark variants derive their grid points from one registered
+        preset (``spec.derive(adversary=AdversarySpec(fraction=0.3))``).
+        """
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dictionary representation."""
+        data = asdict(self)
+        data["topology"]["params"] = dict(self.topology.params)
+        data["protocol_options"] = dict(self.protocol_options)
+        data["tags"] = list(self.tags)
+        if self.churn is not None:
+            data["churn"]["events"] = [
+                [event.time, event.node, event.action]
+                for event in self.churn.events
+            ]
+        return data
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize the spec to JSON."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Reconstruct a spec from :meth:`to_dict` output."""
+        churn_data = data.get("churn")
+        churn = None
+        if churn_data is not None:
+            churn = ChurnSpec(
+                leave_fraction=churn_data.get("leave_fraction", 0.0),
+                leave_time=churn_data.get("leave_time", 0.25),
+                rejoin_after=churn_data.get("rejoin_after"),
+                seed_offset=churn_data.get("seed_offset", 0xC4A2),
+                events=tuple(
+                    ChurnEvent(time, node, action)
+                    for time, node, action in churn_data.get("events", ())
+                ),
+            )
+        return cls(
+            name=data["name"],
+            topology=TopologySpec(
+                family=data["topology"]["family"],
+                params=dict(data["topology"].get("params", {})),
+            ),
+            conditions=ConditionsSpec(**data.get("conditions", {})),
+            protocol=data.get("protocol", "flood"),
+            protocol_options=dict(data.get("protocol_options", {})),
+            adversary=AdversarySpec(**data.get("adversary", {})),
+            workload=WorkloadSpec(**data.get("workload", {})),
+            seeds=SeedPolicy(**data.get("seeds", {})),
+            churn=churn,
+            description=data.get("description", ""),
+            tags=tuple(data.get("tags", ())),
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ScenarioSpec":
+        """Reconstruct a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(payload))

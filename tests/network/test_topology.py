@@ -11,6 +11,8 @@ from repro.network.topology import (
     line_overlay,
     random_regular_overlay,
     regular_tree_overlay,
+    scale_free_overlay,
+    small_world_overlay,
     watts_strogatz_overlay,
 )
 
@@ -110,3 +112,54 @@ class TestBitcoinLike:
 
     def test_connected(self):
         assert nx.is_connected(bitcoin_like_overlay(30, 10, outgoing=3, seed=3))
+
+
+class TestSmallWorld:
+    def test_connected_and_sized(self):
+        graph = small_world_overlay(120, neighbours=8, seed=0)
+        assert graph.number_of_nodes() == 120
+        assert nx.is_connected(graph)
+
+    def test_shortcuts_added_not_rewired(self):
+        # Newman–Watts only adds edges to the ring lattice, so every lattice
+        # edge is still present and the edge count never drops below it.
+        graph = small_world_overlay(100, neighbours=6, shortcut_probability=0.2, seed=1)
+        lattice = nx.watts_strogatz_graph(100, 6, 0.0)
+        assert set(lattice.edges) <= {tuple(sorted(e)) for e in graph.edges} | set(graph.edges)
+        assert graph.number_of_edges() >= lattice.number_of_edges()
+
+    def test_seed_reproducibility(self):
+        a = small_world_overlay(80, seed=7)
+        b = small_world_overlay(80, seed=7)
+        assert set(a.edges) == set(b.edges)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            small_world_overlay(2)
+        with pytest.raises(ValueError):
+            small_world_overlay(50, shortcut_probability=1.5)
+
+
+class TestScaleFree:
+    def test_connected_and_sized(self):
+        graph = scale_free_overlay(150, attachments=4, seed=0)
+        assert graph.number_of_nodes() == 150
+        assert nx.is_connected(graph)
+
+    def test_hub_heavy_degree_distribution(self):
+        # Preferential attachment: the busiest node carries far more links
+        # than the median peer.
+        graph = scale_free_overlay(300, attachments=4, seed=2)
+        degrees = sorted(degree for _, degree in graph.degree())
+        assert degrees[-1] >= 4 * degrees[len(degrees) // 2]
+
+    def test_seed_reproducibility(self):
+        a = scale_free_overlay(100, seed=9)
+        b = scale_free_overlay(100, seed=9)
+        assert set(a.edges) == set(b.edges)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            scale_free_overlay(4, attachments=4)
+        with pytest.raises(ValueError):
+            scale_free_overlay(50, triangle_probability=-0.1)

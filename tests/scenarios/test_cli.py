@@ -1,0 +1,66 @@
+"""scripts/scenario.py: the CLI surface over the scenario registry."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "scenario.py"
+
+
+def _run(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+class TestCli:
+    def test_list_names_every_preset(self):
+        proc = _run("list")
+        assert proc.returncode == 0
+        for name in ("e4_broadcast_deanonymization", "stress_node_churn"):
+            assert name in proc.stdout
+
+    def test_list_filters_by_tag(self):
+        proc = _run("list", "--tag", "stress")
+        assert proc.returncode == 0
+        assert "stress_lossy_wan" in proc.stdout
+        assert "e4_broadcast_deanonymization" not in proc.stdout
+
+    def test_describe_emits_valid_spec_json(self):
+        proc = _run("describe", "stress_node_churn")
+        assert proc.returncode == 0
+        data = json.loads(proc.stdout)
+        assert data["name"] == "stress_node_churn"
+        assert data["churn"]["leave_fraction"] == 0.2
+
+    def test_run_writes_structured_json(self, tmp_path):
+        out = tmp_path / "result.json"
+        proc = _run(
+            "run", "e4_broadcast_deanonymization",
+            "--repetitions", "1", "--json-out", str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        document = json.loads(out.read_text())
+        assert document["spec"]["name"] == "e4_broadcast_deanonymization"
+        assert document["runs"][0]["mean_reach"] == 1.0
+        assert document["digest"] in proc.stdout
+
+    def test_run_spec_file(self, tmp_path):
+        # describe → edit → run: the offline spec workflow.
+        spec = json.loads(_run("describe", "e4_broadcast_deanonymization").stdout)
+        spec["name"] = "adhoc_variant"
+        spec["workload"]["broadcasts"] = 2
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        proc = _run("run", "--spec-file", str(spec_path), "--repetitions", "1")
+        assert proc.returncode == 0, proc.stderr
+        assert "adhoc_variant" in proc.stdout
+
+    def test_unknown_scenario_fails(self):
+        proc = _run("run", "does_not_exist")
+        assert proc.returncode != 0

@@ -1,0 +1,121 @@
+"""Golden pins for every registered scenario preset.
+
+Two layers of pinning:
+
+* **observation-log digests** — for each named preset, one seeded broadcast
+  is run through :meth:`ScenarioRunner.observation_digest` and its full
+  delivery log hashed.  The digest is sensitive to every layer a spec
+  configures (topology generation, conditions, protocol options, churn
+  schedule, engine event ordering), so any behavioural drift in any of them
+  fails loudly here.
+* **committed run results** — the stress presets' full CLI runs
+  (``scripts/scenario.py run <name> --json-out``) are committed under
+  ``benchmarks/results/scenarios/``; re-running the scenario must reproduce
+  the committed run digest exactly.
+
+When a change *intentionally* alters behaviour (new RNG stream, protocol
+fix), regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/scenarios/test_presets_golden.py -q
+    python scripts/scenario.py run <name> \
+        --json-out benchmarks/results/scenarios/SCENARIO_<name>.json
+
+and document the change in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import ScenarioRunner, available_scenarios, scenario
+
+RESULTS_DIR = (
+    Path(__file__).resolve().parent.parent.parent
+    / "benchmarks" / "results" / "scenarios"
+)
+
+#: Golden observation-log digest per registered preset (one seeded
+#: broadcast from the overlay's first node; see ScenarioRunner.observation_digest).
+GOLDEN_OBSERVATION_DIGESTS = {
+    "e1_message_overhead":
+        "f769201aaea920d372ffda8bbb070aea1da3178a906f85ad4814c6ac1e612c26",
+    "e2_dcnet_cost":
+        "9e9b4b0a8b6e6886c7114efe5d6039cc0233b22ebc198186823744a1d98a4444",
+    "e3_privacy_performance_landscape":
+        "3e614ae230ba2c1a7f95fb26af3ac88f10392a324944eb469b76692da5a1c8b9",
+    "e4_broadcast_deanonymization":
+        "54eef9be8179dc6045befbe4d2dc4e7f4d2c49c6ce0a26b001947302ec2fc33a",
+    "e5_dandelion_baseline":
+        "a62d983ddb331c75ab81031312b9aef5e1c396bcb2414db2fe47901de917a1a6",
+    "e6_dcnet_round":
+        "e9e30a0086ccbf15940ed6db2ff9949e1f9e27deef99e8a476cf4350e4f46597",
+    "e7_three_phase_end_to_end":
+        "de455fd9d8cbff4d1613a97b50622d6a0e82e42852712bdaa27057c844564efe",
+    "e8_privacy_bounds":
+        "48af8174d764c120e46323aaaecde5387bcc4d4292d2e41f001adab64ec1b6f4",
+    "e9_group_overlap":
+        "839c82b8d82a5b69821e90b3392b2278579c35af3e47e6de31797059b78112f7",
+    "e10_latency_tradeoff":
+        "cc02b8ceef9aa32f5f0d6bc028078ebc162fc0272cae11b5dae93c338c2b5c4e",
+    "e11_scale":
+        "bb8b05121b112121c66107cbbe8e2a728fd132ce9bc0630a69f007e47aef3c96",
+    "e12_protocol_faceoff":
+        "f361b090d772539263a7471fd2c2293246a9d575c8c0a5df324900bba3160e4e",
+    "quickstart":
+        "18c27ecc965ace0e5cfa09c2168db4f64003fbed0b5cc74dae72f734833c34bf",
+    "stress_lossy_wan":
+        "357864e3dca1e8d03ba868559ed27528fe95bce9026410453bc93b983975b724",
+    "stress_supernode_hub":
+        "b3fa2aa4ae12fc254a67c34a17f4c1f8fc56ef5444be497be05f42cc4df3c62b",
+    "stress_node_churn":
+        "070b8f451d8b677dac48012871cceae9cb13f9623bd288b5e9e15eeaa673e83d",
+    "stress_churn_rejoin":
+        "2b6f79790b71652535ecf1ccc64c8dba0a97a1cee24464dc5417fbef299b9eb2",
+    "stress_mixed_senders":
+        "c716c2226f20e2bb034c1a7915648e383ac5c93a1ffcc19342de1cf30682c6d7",
+}
+
+
+def test_every_registered_preset_has_a_golden_digest():
+    assert set(GOLDEN_OBSERVATION_DIGESTS) == set(available_scenarios())
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_OBSERVATION_DIGESTS))
+def test_preset_observation_log_unchanged(name):
+    runner = ScenarioRunner(processes=1)
+    assert (
+        runner.observation_digest(scenario(name))
+        == GOLDEN_OBSERVATION_DIGESTS[name]
+    ), (
+        f"preset {name!r} produced a different observation log; if the "
+        "change is intentional, regenerate the golden digests (see module "
+        "docstring)"
+    )
+
+
+class TestCommittedStressResults:
+    """The committed CLI results reproduce run digest for run digest."""
+
+    @pytest.mark.parametrize(
+        "name", sorted(available_scenarios(tag="stress"))
+    )
+    def test_committed_result_reproduces(self, name):
+        path = RESULTS_DIR / f"SCENARIO_{name}.json"
+        assert path.exists(), (
+            f"missing committed result for {name}; generate it with "
+            f"scripts/scenario.py run {name} --json-out {path}"
+        )
+        committed = json.loads(path.read_text())
+        result = ScenarioRunner(processes=1).run(scenario(name))
+        assert result.digest == committed["digest"]
+        assert result.runs == committed["runs"]
+
+    def test_churn_scenarios_degrade_reach(self):
+        # The stress point of the churn presets: delivery is genuinely
+        # incomplete while nodes are gone.
+        for name in ("stress_node_churn", "stress_churn_rejoin"):
+            committed = json.loads(
+                (RESULTS_DIR / f"SCENARIO_{name}.json").read_text()
+            )
+            assert committed["aggregate"]["mean_reach"] < 0.95

@@ -1,0 +1,211 @@
+"""ScenarioRunner semantics: equivalence, fan-out determinism, compilation."""
+
+import pytest
+
+from repro.analysis.experiment import run_attack_experiment
+from repro.core.config import ProtocolConfig
+from repro.network.conditions import NetworkConditions
+from repro.protocols.adapters import ThreePhaseProtocol
+from repro.scenarios import (
+    AdversarySpec,
+    ChurnSpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    SeedPolicy,
+    TopologySpec,
+    WorkloadSpec,
+    build_protocol,
+    build_session,
+    compile_scenario,
+    run_scenario_once,
+    scenario,
+)
+
+CHEAP = ScenarioSpec(
+    name="cheap_probe",
+    topology=TopologySpec(
+        "random_regular", {"num_nodes": 60, "degree": 6, "seed": 1}
+    ),
+    protocol="flood",
+    adversary=AdversarySpec(fraction=0.3),
+    workload=WorkloadSpec(broadcasts=4),
+    seeds=SeedPolicy(base_seed=5, repetitions=3),
+)
+
+
+class TestEquivalence:
+    def test_run_once_equals_direct_harness_call(self):
+        # The runner is a declarative veneer over run_attack_experiment —
+        # same overlay seed, same conditions, same numbers.
+        spec_result = run_scenario_once(CHEAP)
+        direct = run_attack_experiment(
+            CHEAP.topology.build(),
+            "flood",
+            0.3,
+            broadcasts=4,
+            seed=5,
+            conditions=NetworkConditions(),
+            estimator="first_spy",
+        )
+        assert spec_result.detection == direct.detection
+        assert spec_result.messages_per_broadcast == direct.messages_per_broadcast
+        assert spec_result.mean_reach == direct.mean_reach
+
+    def test_preset_equals_benchmark_wiring(self):
+        # e12's preset must reproduce what the face-off benchmark historically
+        # hand-assembled for the three-phase cell.
+        spec = scenario("e12_protocol_faceoff")
+        from repro.protocols import create_protocol
+
+        direct = run_attack_experiment(
+            spec.topology.build(),
+            create_protocol(
+                "three_phase",
+                config=ProtocolConfig(group_size=5, diffusion_depth=3),
+            ),
+            0.2,
+            broadcasts=6,
+            seed=12,
+            conditions=NetworkConditions.internet_like(),
+        )
+        result = run_scenario_once(spec)
+        assert result.detection == direct.detection
+        assert result.messages_per_broadcast == direct.messages_per_broadcast
+
+
+class TestRepetitionFanOut:
+    def test_parallel_equals_serial(self):
+        serial = ScenarioRunner(processes=1).run(CHEAP)
+        parallel = ScenarioRunner(processes=3).run(CHEAP)
+        assert serial.runs == parallel.runs
+        assert serial.digest == parallel.digest
+
+    def test_seed_schedule(self):
+        result = ScenarioRunner(processes=1).run(CHEAP)
+        assert result.seeds == [5, 6, 7]
+        # Each repetition is exactly run_scenario_once at its seed.
+        from repro.scenarios import experiment_metrics
+
+        for seed, run in zip(result.seeds, result.runs):
+            assert run == experiment_metrics(
+                run_scenario_once(CHEAP, seed=seed)
+            )
+
+    def test_aggregate_is_mean_over_runs(self):
+        result = ScenarioRunner(processes=1).run(CHEAP)
+        for key in result.runs[0]:
+            expected = sum(run[key] for run in result.runs) / len(result.runs)
+            assert result.aggregate[key] == pytest.approx(expected)
+        assert result.aggregate["repetitions"] == 3.0
+
+    def test_repetition_override(self):
+        result = ScenarioRunner(processes=1).run(CHEAP, repetitions=1)
+        assert len(result.runs) == 1
+
+    def test_result_to_dict_round_trips_spec(self):
+        result = ScenarioRunner(processes=1).run(CHEAP, repetitions=1)
+        document = result.to_dict()
+        assert ScenarioSpec.from_dict(document["spec"]) == CHEAP
+        assert document["digest"] == result.digest
+
+
+class TestCompilation:
+    def test_compile_builds_all_layers(self):
+        compiled = compile_scenario(scenario("stress_node_churn"))
+        assert compiled.graph.number_of_nodes() == 150
+        assert compiled.protocol.name == "flood"
+        assert compiled.session_hook is not None
+
+    def test_no_churn_means_no_hook(self):
+        assert compile_scenario(CHEAP).session_hook is None
+
+    def test_build_protocol_translates_options(self):
+        protocol = build_protocol(
+            "three_phase", {"group_size": 7, "diffusion_depth": 2}
+        )
+        assert isinstance(protocol, ThreePhaseProtocol)
+        assert protocol.config.group_size == 7
+        assert protocol.anonymity_floor() == 7
+
+    def test_build_protocol_adaptive_diffusion_max_time(self):
+        protocol = build_protocol(
+            "adaptive_diffusion", {"max_rounds": 5, "max_time": 100.0}
+        )
+        assert protocol.max_time == 100.0
+        assert protocol.config.max_rounds == 5
+
+    def test_build_protocol_flat_options_without_config_class(self):
+        protocol = build_protocol("flood", {"payload_size_bytes": 128})
+        assert protocol.payload_size_bytes == 128
+
+    def test_from_options_is_the_adapter_seam(self):
+        # A third-party adapter declaring config_class works through the
+        # scenario layer with no scenario-layer changes.
+        from repro.broadcast.gossip import GossipConfig
+        from repro.protocols.adapters import GossipProtocol
+
+        protocol = GossipProtocol.from_options(fanout=2)
+        assert isinstance(protocol.config, GossipConfig)
+        assert protocol.config.fanout == 2
+
+    def test_build_protocol_unknown_name(self):
+        with pytest.raises(ValueError):
+            build_protocol("carrier_pigeon", {})
+
+    def test_build_protocol_bad_option(self):
+        with pytest.raises(TypeError):
+            build_protocol("three_phase", {"group_sizes": 5})
+
+
+class TestChurnScenarios:
+    def test_churn_spec_installs_simulator_events(self):
+        spec = scenario("stress_node_churn")
+        session = build_session(spec)
+        # 20% of 150 nodes leave: 30 pending leave events before the run.
+        assert session.simulator.pending_events == 30
+
+    def test_churn_reduces_reach_end_to_end(self):
+        result = run_scenario_once(scenario("stress_node_churn"))
+        assert result.mean_reach < 0.95
+        no_churn = run_scenario_once(
+            scenario("stress_node_churn").derive(churn=None)
+        )
+        assert no_churn.mean_reach == 1.0
+
+    def test_churn_differs_per_repetition_but_is_reproducible(self):
+        spec = scenario("stress_churn_rejoin")
+        first = ScenarioRunner(processes=1).run(spec)
+        second = ScenarioRunner(processes=1).run(spec)
+        assert first.runs == second.runs
+        # Different repetition seeds churn different node sets, so the
+        # degraded reach varies across repetitions.
+        reaches = {run["mean_reach"] for run in first.runs}
+        assert len(reaches) > 1
+
+
+class TestSenderPool:
+    def test_sender_pool_limits_sources(self):
+        spec = CHEAP.derive(
+            workload=WorkloadSpec(broadcasts=12, sender_pool=2),
+            adversary=AdversarySpec(fraction=0.0),
+        )
+        from repro.analysis.experiment import _pick_sources
+        import random
+
+        sources = _pick_sources(
+            spec.topology.build(), 12, random.Random(5), sender_pool=2
+        )
+        assert len(set(sources)) <= 2
+        # And the full run works end to end.
+        result = run_scenario_once(spec)
+        assert result.detection.total == 12
+
+    def test_sender_pool_bounds(self):
+        from repro.analysis.experiment import _pick_sources
+        import random
+
+        graph = CHEAP.topology.build()
+        with pytest.raises(ValueError):
+            _pick_sources(graph, 3, random.Random(0), sender_pool=0)
+        with pytest.raises(ValueError):
+            _pick_sources(graph, 3, random.Random(0), sender_pool=61)
