@@ -43,6 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 __all__ = [
     "Scenario",
     "SCENARIOS",
+    "attack_privacy_scenario",
     "calibrate",
     "compare_reports",
     "dcnet_round_scenario",
@@ -153,6 +154,55 @@ def dcnet_round_scenario(
     )
 
 
+def attack_privacy_scenario(
+    name: str,
+    size: int = 200,
+    degree: int = 8,
+    overlay_seed: int = 43,
+    adversary_fraction: float = 0.2,
+    broadcasts: int = 5,
+    run_seed: int = 0,
+    smoke: bool = False,
+) -> Scenario:
+    """First-spy attack experiment with the privacy-metrics engine on.
+
+    Times the full per-broadcast pipeline the scenario layer runs: flood
+    dissemination, estimator posterior, streaming anonymity metrics and the
+    multi-round intersection attack.  Events are the deliveries performed
+    (messages per broadcast times broadcasts), so the number tracks the
+    same engine work as the flood scenarios plus the measurement overhead.
+    """
+
+    def setup() -> Any:
+        from repro.network.topology import random_regular_overlay
+
+        return random_regular_overlay(size, degree=degree, seed=overlay_seed)
+
+    def run(overlay: Any) -> int:
+        from repro.analysis.experiment import run_attack_experiment
+        from repro.network.conditions import NetworkConditions
+
+        result = run_attack_experiment(
+            overlay,
+            "flood",
+            adversary_fraction,
+            broadcasts=broadcasts,
+            seed=run_seed,
+            conditions=NetworkConditions(),
+        )
+        assert result.privacy is not None
+        return int(round(result.messages_per_broadcast * broadcasts))
+
+    return Scenario(
+        name=name,
+        description=f"E13 attack + privacy metrics, {size} peers, "
+        f"{adversary_fraction:.0%} adversary, {broadcasts} broadcasts",
+        setup=setup,
+        run=run,
+        smoke=smoke,
+    )
+
+
 #: The tracked scenario suite.  ``--smoke`` runs the marked subset.
 SCENARIOS: Dict[str, Scenario] = {
     scenario.name: scenario
@@ -161,6 +211,7 @@ SCENARIOS: Dict[str, Scenario] = {
         flood_scenario("e1_flood_1000", size=1000, smoke=True),
         flood_scenario("e11_flood_2000", size=2000, smoke=True),
         flood_scenario("e11_flood_5000", size=5000),
+        attack_privacy_scenario("e13_attack_privacy_200", smoke=True),
     )
 }
 

@@ -20,12 +20,21 @@ enumerates, inspects and executes them:
     # run an ad-hoc spec edited offline
     python scripts/scenario.py run --spec-file my_scenario.json
 
+    # sweep-friendly overrides, no committed spec edits needed
+    python scripts/scenario.py run stress_mixed_senders \
+        --repetitions 5 --seed 99 --estimator rumor_centrality
+
+Every run reports the anonymity metrics of the privacy subsystem
+(``docs/PRIVACY.md``) next to the detection numbers; ``--no-privacy``
+turns them off.
+
 No dependencies beyond what ``repro`` itself needs.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -34,8 +43,10 @@ from typing import Optional
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.analysis.experiment import ESTIMATORS  # noqa: E402
 from repro.analysis.reporting import format_table  # noqa: E402
 from repro.scenarios import (  # noqa: E402
+    PrivacySpec,
     ScenarioRunner,
     ScenarioSpec,
     available_scenarios,
@@ -95,9 +106,17 @@ def _load_spec(args: argparse.Namespace) -> ScenarioSpec:
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args)
     if args.seed is not None:
-        spec = spec.derive(seeds=spec.seeds.__class__(
-            base_seed=args.seed, repetitions=spec.seeds.repetitions
-        ))
+        spec = spec.derive(
+            seeds=dataclasses.replace(spec.seeds, base_seed=args.seed)
+        )
+    if args.estimator is not None:
+        spec = spec.derive(
+            adversary=dataclasses.replace(
+                spec.adversary, estimator=args.estimator
+            )
+        )
+    if args.no_privacy:
+        spec = spec.derive(privacy=PrivacySpec(enabled=False))
     runner = ScenarioRunner(processes=args.processes)
     result = runner.run(spec, repetitions=args.repetitions)
 
@@ -166,6 +185,14 @@ def main(argv: Optional[list] = None) -> int:
     run_parser.add_argument(
         "--seed", type=int, default=None,
         help="override the spec's base seed",
+    )
+    run_parser.add_argument(
+        "--estimator", default=None, choices=sorted(ESTIMATORS),
+        help="override the spec's source estimator",
+    )
+    run_parser.add_argument(
+        "--no-privacy", action="store_true",
+        help="skip the anonymity metrics (detection metrics only)",
     )
     run_parser.add_argument(
         "--processes", type=int, default=None,

@@ -6,15 +6,25 @@ botnet it controls a fraction of the network's nodes and records the arrival
 time and previous hop of every message those nodes receive (the attack of
 Biryukov et al. the paper cites).
 
+Every estimator in this package implements the posterior protocol of
+:mod:`repro.privacy.posterior`: a ``rank(payload_id) -> {node: score}``
+surface feeding the privacy-metrics engine, with ``guess(payload_id)`` as
+its argmax so detection statistics stay unchanged.
+
 * :mod:`repro.adversary.botnet` — choosing/injecting the observer nodes.
 * :mod:`repro.adversary.observer` — collecting the observations visible to
   the adversary from a simulation run.
 * :mod:`repro.adversary.first_spy` — the first-spy (first-timestamp)
-  estimator used against broadcast protocols.
+  estimator used against broadcast protocols; its posterior weighs first
+  relayers by timestamp gap.
 * :mod:`repro.adversary.rumor_centrality` — the maximum-likelihood rumor
-  source estimator (Shah–Zaman) used against diffusion snapshots.
+  source estimator (Shah–Zaman) used against diffusion snapshots; its
+  posterior is the per-candidate centrality likelihood.
 * :mod:`repro.adversary.collusion` — what colluding DC-net group members
-  learn about the sender within their group.
+  learn about the sender within their group: the analytic
+  ``group_collusion_posterior`` and the harness-ready
+  ``DcNetCollusionEstimator`` reconstructing groups from observed share
+  traffic.
 """
 
 from repro.adversary.botnet import (
@@ -22,7 +32,10 @@ from repro.adversary.botnet import (
     deploy_botnet,
     inject_supernodes,
 )
-from repro.adversary.collusion import group_collusion_posterior
+from repro.adversary.collusion import (
+    DcNetCollusionEstimator,
+    group_collusion_posterior,
+)
 from repro.adversary.first_spy import FirstSpyEstimator
 from repro.adversary.observer import AdversaryView
 from repro.adversary.rumor_centrality import (
@@ -38,6 +51,7 @@ __all__ = [
     "BotnetDeployment",
     "deploy_botnet",
     "inject_supernodes",
+    "DcNetCollusionEstimator",
     "group_collusion_posterior",
     "FirstSpyEstimator",
     "AdversaryView",

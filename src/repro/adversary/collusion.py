@@ -5,11 +5,26 @@ still hides the sender perfectly among the remaining ``ℓ = k - c`` honest
 members (Section V-B: sender ``ℓ``-anonymity).  The colluders can subtract
 their own contributions but learn nothing further — unless every other member
 is compromised, in which case the sender is exposed.
+
+Two surfaces expose that model:
+
+* :func:`group_collusion_posterior` — the analytic posterior given full
+  knowledge of the group and the compromised set (used by the privacy
+  bounds analyses and tests);
+* :class:`DcNetCollusionEstimator` — the same attacker wired into the
+  experiment harness: it reconstructs the group from the DC-net share
+  traffic its spy nodes received (a spy inside the group sees shares from
+  every other member) and reports the uniform posterior over the honest
+  members.  Its ``guess()`` abstains unless exactly one honest member
+  remains — colluders cannot break ℓ-anonymity, and the estimator says so.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Set
+from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.adversary.observer import AdversaryView
+from repro.network.simulator import Simulator
 
 
 def group_collusion_posterior(
@@ -49,3 +64,61 @@ def group_collusion_posterior(
     # The DC-net output is information-theoretically independent of which
     # honest member sent, so the posterior over honest members stays uniform.
     return {member: 1.0 / len(honest) for member in honest}
+
+
+class DcNetCollusionEstimator:
+    """Group-collusion attacker with the harness estimator interface.
+
+    The adversary's spies record every DC-net share they receive
+    (``dc_exchange`` traffic is delivered over direct group channels, so
+    only group members see it).  From those observations the estimator
+    reconstructs the broadcast's group — every observed share sender plus
+    the observing spies themselves — and applies the collusion model: the
+    posterior is uniform over the group's honest members.
+
+    Against protocols without a DC-net phase (or when no spy sits in the
+    originating group) the spies see no share traffic and the estimator is
+    blind: empty :meth:`rank`, abstaining :meth:`guess`.
+    """
+
+    #: The wire kind of DC-net share traffic (``ThreePhaseNode.DC_KIND``;
+    #: kept literal so the adversary package does not import protocol code).
+    DC_KINDS: Tuple[str, ...] = ("dc_exchange",)
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        observers: Iterable[Hashable],
+    ) -> None:
+        self.view = AdversaryView(simulator, observers)
+
+    def _honest_members(self, payload_id: Hashable) -> Set[Hashable]:
+        """Group members the colluders cannot rule out for one payload."""
+        observers = self.view.observers
+        members: Set[Hashable] = set()
+        for obs in self.view.observations_of(payload_id, self.DC_KINDS):
+            if obs.sender is not None:
+                members.add(obs.sender)
+            members.add(obs.receiver)
+        return members - observers
+
+    def rank(self, payload_id: Hashable) -> Dict[Hashable, float]:
+        """Uniform posterior over the observed group's honest members."""
+        honest = self._honest_members(payload_id)
+        if not honest:
+            return {}
+        weight = 1.0 / len(honest)
+        return {member: weight for member in honest}
+
+    def guess(self, payload_id: Hashable) -> Optional[Hashable]:
+        """Name the sender only when a single honest member remains.
+
+        ℓ-anonymity is information-theoretic: with two or more honest
+        members the colluders' posterior is exactly uniform, so any guess
+        would be noise.  The estimator abstains rather than coin-flip,
+        keeping detection statistics meaningful.
+        """
+        honest = self._honest_members(payload_id)
+        if len(honest) != 1:
+            return None
+        return next(iter(honest))

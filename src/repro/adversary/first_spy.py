@@ -9,6 +9,13 @@ statistical spreading mechanisms (Dandelion, adaptive diffusion) and the
 DC-net phase remove the correlation between "first relayer seen" and
 "originator".
 
+Beyond the point guess, the estimator implements the posterior protocol of
+:mod:`repro.privacy.posterior`: :meth:`FirstSpyEstimator.rank` scores every
+first relayer by its timestamp gap to the earliest one, which is what the
+privacy-metrics engine (:mod:`repro.privacy.metrics`) turns into entropy,
+anonymity-set and top-k numbers.  ``guess()`` remains the argmax of that
+surface, so detection statistics are unchanged by the richer output.
+
 The estimator reads through an index-backed
 :class:`~repro.adversary.observer.AdversaryView`, so guessing the source of
 one payload costs O(traffic of that payload seen by spies) — it does not
@@ -22,6 +29,7 @@ from typing import Dict, Hashable, Iterable, Optional, Tuple
 
 from repro.adversary.observer import AdversaryView
 from repro.network.simulator import Simulator
+from repro.privacy.posterior import normalize
 
 
 class FirstSpyEstimator:
@@ -43,24 +51,46 @@ class FirstSpyEstimator:
         earliest observation came from another spy (the adversary knows its
         own nodes did not originate the transaction under the
         honest-but-curious model and abstains).
+
+        This is the argmax of :meth:`rank` under the canonical tie-break
+        (maximal score, then smallest ``repr``) — kept as a direct
+        first-seen lookup so the historical detection numbers are
+        reproduced instruction for instruction.
         """
         candidates = self.view.first_relayers(payload_id, self.kinds)
         if not candidates:
             return None
         return min(candidates.items(), key=lambda item: (item[1], repr(item[0])))[0]
 
-    def posterior(self, payload_id: Hashable) -> Dict[Hashable, float]:
-        """A simple posterior: weight each first-relayer by recency rank.
+    def rank(self, payload_id: Hashable) -> Dict[Hashable, float]:
+        """Suspicion score per candidate from the first-relay timestamp gaps.
 
-        The first relayer observed receives the largest weight, later ones
-        exponentially less.  This is a heuristic confidence model used for
-        the entropy-based privacy metrics; the headline detection numbers use
-        :meth:`guess`.
+        The relayer seen earliest is the prime suspect; every other
+        candidate decays exponentially with its gap to that earliest time,
+        measured in units of the median inter-arrival gap between
+        consecutive first-relay times (so the scores adapt to the latency
+        scale of the environment instead of hard-coding one).  Equal
+        timestamps receive equal scores, which makes the argmax of this
+        surface coincide with :meth:`guess` exactly.
+
+        Returns an empty surface when no spy observed the payload.
         """
         candidates = self.view.first_relayers(payload_id, self.kinds)
         if not candidates:
             return {}
-        ranked = sorted(candidates.items(), key=lambda item: (item[1], repr(item[0])))
-        weights = {node: 0.5**rank for rank, (node, _) in enumerate(ranked)}
-        total = sum(weights.values())
-        return {node: weight / total for node, weight in weights.items()}
+        times = sorted(candidates.values())
+        earliest = times[0]
+        gaps = [b - a for a, b in zip(times, times[1:]) if b > a]
+        if gaps:
+            gaps.sort()
+            scale = gaps[len(gaps) // 2]
+        else:
+            scale = 1.0
+        return {
+            node: 2.0 ** (-(seen - earliest) / scale)
+            for node, seen in candidates.items()
+        }
+
+    def posterior(self, payload_id: Hashable) -> Dict[Hashable, float]:
+        """The normalised :meth:`rank` surface (empty when nothing was seen)."""
+        return normalize(self.rank(payload_id))

@@ -19,7 +19,7 @@ the standard heuristic from the original paper.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
@@ -131,6 +131,13 @@ class RumorCentralityEstimator:
     names the node with maximal rumor centrality; the observer set is
     accepted for interface compatibility but unused — a snapshot adversary's
     power does not come from owning relay nodes.
+
+    The estimator also implements the posterior protocol
+    (:mod:`repro.privacy.posterior`): :meth:`rank` exposes the per-candidate
+    likelihood surface (rumor centralities are ordering counts, i.e.
+    unnormalised likelihoods under the SI model), of which :meth:`guess` is
+    the argmax.  The centrality pass over the infected subgraph is computed
+    once per payload and shared by both methods.
     """
 
     def __init__(
@@ -140,9 +147,51 @@ class RumorCentralityEstimator:
     ) -> None:
         self.simulator = simulator
         self.observers = set(observers)
+        self._scored: Dict[Hashable, List[Tuple[float, Hashable]]] = {}
+
+    def _scores(self, payload_id: Hashable) -> List[Tuple[float, Hashable]]:
+        """Cached ``(log_centrality, candidate)`` pairs for one payload."""
+        if payload_id not in self._scored:
+            infected = sorted(
+                set(
+                    infected_snapshot(self.simulator.metrics, payload_id)
+                ),
+                key=repr,
+            )
+            graph = self.simulator.graph
+            self._scored[payload_id] = [
+                (rumor_centrality(graph, infected, candidate), candidate)
+                for candidate in infected
+            ]
+        return self._scored[payload_id]
 
     def guess(self, payload_id: Hashable) -> Optional[Hashable]:
-        """The snapshot adversary's single best guess for the originator."""
-        return rumor_source_from_metrics(
-            self.simulator.graph, self.simulator.metrics, payload_id
-        )
+        """The snapshot adversary's single best guess for the originator.
+
+        Identical to :func:`rumor_source_estimate` on the end-of-run
+        snapshot (maximal centrality, ties broken by smallest ``repr``).
+        """
+        scored = self._scores(payload_id)
+        if not scored:
+            return None
+        best_score = max(score for score, _ in scored)
+        winners = [candidate for score, candidate in scored if score == best_score]
+        return sorted(winners, key=repr)[0]
+
+    def rank(self, payload_id: Hashable) -> Dict[Hashable, float]:
+        """Relative likelihood per infected candidate.
+
+        Log centralities are shifted by their maximum before
+        exponentiation, so the prime suspect scores 1.0 and everything else
+        a fraction of it — numerically safe for snapshots of any size.
+        Candidates whose centrality is ``-inf`` (not in the infected
+        component) are omitted; an empty snapshot yields an empty surface.
+        """
+        scored = self._scores(payload_id)
+        finite = [(s, c) for s, c in scored if s != float("-inf")]
+        if not finite:
+            return {}
+        peak = max(score for score, _ in finite)
+        return {
+            candidate: math.exp(score - peak) for score, candidate in finite
+        }

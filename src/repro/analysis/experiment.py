@@ -7,8 +7,17 @@ how often a source estimator identifies the true originator.
 :func:`run_attack_experiment` implements that loop once for *every* protocol
 in the :mod:`repro.protocols` registry, under one set of
 :class:`~repro.network.conditions.NetworkConditions` and with a pluggable
-estimator (first-spy or rumor-centrality, or any
+estimator (first-spy, rumor-centrality or DC-net collusion, or any
 ``factory(simulator, observers) → .guess(payload_id)`` callable).
+
+Beyond the point-guess detection statistics, every experiment measures the
+attacker's *uncertainty*: estimators expose posterior surfaces through the
+posterior protocol (:mod:`repro.privacy.posterior`), which the privacy
+engine (:mod:`repro.privacy.metrics`) streams into per-broadcast entropy,
+anonymity-set and top-k metrics and the multi-round intersection attack
+(:mod:`repro.privacy.intersection`) links across broadcasts that share a
+sender.  The measurement is read-only — detection numbers stay seed-for-seed
+identical with privacy on or off.
 
 :func:`attack_experiment` remains as the legacy entry point.  It is a thin
 shim over the registry that reproduces the historical per-protocol defaults
@@ -36,6 +45,7 @@ from typing import (
 import networkx as nx
 
 from repro.adversary.botnet import deploy_botnet
+from repro.adversary.collusion import DcNetCollusionEstimator
 from repro.adversary.first_spy import FirstSpyEstimator
 from repro.adversary.rumor_centrality import RumorCentralityEstimator
 from repro.broadcast.dandelion import DandelionConfig
@@ -44,17 +54,27 @@ from repro.network.conditions import NetworkConditions
 from repro.network.latency import ConstantLatency
 from repro.network.simulator import Simulator
 from repro.privacy.detection import DetectionStats, evaluate_attack
+from repro.privacy.intersection import IntersectionAttack
+from repro.privacy.metrics import (
+    PrivacyAccumulator,
+    PrivacyConfig,
+    PrivacyReport,
+    summarize_intersection,
+)
+from repro.privacy.posterior import estimator_rank
 from repro.protocols import BroadcastProtocol, create_protocol
 
 #: An estimator factory: called once per attacked broadcast with the
 #: session's simulator and the adversary's observer set; the returned object
-#: answers ``guess(payload_id)``.
+#: answers ``guess(payload_id)`` (and, for posterior-capable estimators,
+#: ``rank(payload_id)`` — see :mod:`repro.privacy.posterior`).
 EstimatorFactory = Callable[[Simulator, Set[Hashable]], object]
 
 #: Named estimators selectable by string from every experiment driver.
 ESTIMATORS: Dict[str, EstimatorFactory] = {
     "first_spy": FirstSpyEstimator,
     "rumor_centrality": RumorCentralityEstimator,
+    "dc_collusion": DcNetCollusionEstimator,
 }
 
 
@@ -93,6 +113,10 @@ class ExperimentResult:
         mean_reach: mean delivered fraction over the broadcasts (1.0 under
             lossless conditions for complete protocols; degrades with
             message loss).
+        privacy: information-theoretic anonymity metrics of the attack
+            (entropy, anonymity sets, top-k success, intersection attack),
+            computed from the estimator's posterior surfaces; ``None`` when
+            privacy measurement was disabled.
     """
 
     protocol: str
@@ -102,6 +126,7 @@ class ExperimentResult:
     anonymity_floor: int
     estimator: str = "first_spy"
     mean_reach: float = 1.0
+    privacy: Optional[PrivacyReport] = None
 
 
 def _pick_sources(
@@ -135,6 +160,7 @@ def run_attack_experiment(
     estimator: Union[str, EstimatorFactory] = "first_spy",
     sender_pool: Optional[int] = None,
     session_hook: Optional[Callable[[object], None]] = None,
+    privacy: Union[bool, PrivacyConfig] = True,
 ) -> ExperimentResult:
     """Run the deanonymisation experiment against one registered protocol.
 
@@ -151,8 +177,8 @@ def run_attack_experiment(
         seed: master seed of the experiment.
         conditions: shared network conditions; defaults to lossless
             internet-like per-edge latency.
-        estimator: estimator name (``"first_spy"``, ``"rumor_centrality"``)
-            or a custom factory.
+        estimator: estimator name (``"first_spy"``, ``"rumor_centrality"``,
+            ``"dc_collusion"``) or a custom factory.
         sender_pool: when given, the broadcast sources are drawn from a
             fixed random pool of this many nodes instead of the whole
             overlay (mixed multi-sender workloads).  ``None`` keeps the
@@ -163,6 +189,12 @@ def run_attack_experiment(
             layer installs environment state such as a
             :class:`~repro.network.churn.ChurnSchedule`.  ``None`` changes
             nothing.
+        privacy: ``True`` (default) measures the anonymity metrics with the
+            default :class:`~repro.privacy.metrics.PrivacyConfig`, a config
+            instance customises them, ``False`` skips the measurement
+            entirely.  Privacy measurement is a pure read over the
+            estimator's posterior surface — it draws no randomness and
+            changes no detection numbers.
 
     Session handling follows the protocol's declaration: a
     ``shared_session`` protocol (three-phase) builds one session for all
@@ -175,20 +207,47 @@ def run_attack_experiment(
         The aggregated :class:`ExperimentResult`.
 
     Raises:
-        ValueError: for an unknown protocol or estimator name.
+        ValueError: for an unknown protocol or estimator name, or a
+            non-positive broadcast count.
     """
+    if broadcasts < 1:
+        raise ValueError("broadcasts must be at least 1")
     proto = (
         protocol
         if isinstance(protocol, BroadcastProtocol)
         else create_protocol(protocol)
     )
     estimator_name, estimator_factory = resolve_estimator(estimator)
+    privacy_config: Optional[PrivacyConfig]
+    if privacy is True:
+        privacy_config = PrivacyConfig()
+    elif privacy is False:
+        privacy_config = None
+    else:
+        privacy_config = privacy
 
     rng = random.Random(seed)
     sources = _pick_sources(graph, broadcasts, rng, sender_pool=sender_pool)
     outcomes: List[Tuple[Hashable, Optional[Hashable]]] = []
     message_counts: List[float] = []
     reaches: List[float] = []
+    accumulator: Optional[PrivacyAccumulator] = None
+    linker: Optional[IntersectionAttack] = None
+    if privacy_config is not None:
+        accumulator = PrivacyAccumulator(
+            graph.number_of_nodes(), privacy_config.top_k
+        )
+        if privacy_config.intersection:
+            linker = IntersectionAttack()
+
+    def attack(guesser: object, source: Hashable, payload_id: Hashable) -> None:
+        """One broadcast's point guess plus (optionally) its posterior."""
+        outcomes.append((source, guesser.guess(payload_id)))
+        if accumulator is not None:
+            scores = estimator_rank(guesser, payload_id)
+            accumulator.add(scores, source)
+            if linker is not None:
+                linker.observe(source, scores)
 
     if proto.shared_session:
         session = proto.build(graph, conditions, seed=seed)
@@ -201,7 +260,7 @@ def run_attack_experiment(
             payload_id = f"tx-{seed}-{index}"
             outcome = proto.broadcast(session, source, payload_id)
             guesser = estimator_factory(session.simulator, botnet.observers)
-            outcomes.append((source, guesser.guess(payload_id)))
+            attack(guesser, source, payload_id)
             message_counts.append(float(outcome.messages))
             reaches.append(outcome.delivered_fraction)
     else:
@@ -216,9 +275,20 @@ def run_attack_experiment(
             payload_id = f"tx-{run_seed}"
             outcome = proto.broadcast(session, source, payload_id)
             guesser = estimator_factory(session.simulator, botnet.observers)
-            outcomes.append((source, guesser.guess(payload_id)))
+            attack(guesser, source, payload_id)
             message_counts.append(float(outcome.messages))
             reaches.append(outcome.delivered_fraction)
+
+    privacy_report: Optional[PrivacyReport] = None
+    if accumulator is not None:
+        intersection = None
+        if linker is not None:
+            intersection = summarize_intersection(
+                linker.outcomes(),
+                graph.number_of_nodes(),
+                accumulator.mean_entropy,
+            )
+        privacy_report = accumulator.report(intersection=intersection)
 
     return ExperimentResult(
         protocol=proto.name,
@@ -228,6 +298,7 @@ def run_attack_experiment(
         anonymity_floor=proto.anonymity_floor(),
         estimator=estimator_name,
         mean_reach=sum(reaches) / len(reaches),
+        privacy=privacy_report,
     )
 
 

@@ -46,6 +46,17 @@ def normalized_entropy(posterior: Dict[Hashable, float]) -> float:
     return shannon_entropy(posterior) / math.log2(len(posterior))
 
 
+def min_entropy(posterior: Dict[Hashable, float]) -> float:
+    """Min-entropy (in bits): ``-log2`` of the attacker's best-guess odds.
+
+    The most conservative anonymity measure — it is determined entirely by
+    the single most suspect candidate, so one concentrated spike destroys
+    it even when the Shannon entropy stays high.
+    """
+    _validate(posterior)
+    return -math.log2(top_probability(posterior))
+
+
 def top_probability(posterior: Dict[Hashable, float]) -> float:
     """The attacker's success probability with a single best guess."""
     _validate(posterior)

@@ -1,0 +1,136 @@
+"""Multi-round intersection (long-term disclosure) attacks.
+
+A single broadcast leaves the attacker with a posterior over candidate
+originators; repeated broadcasts by the *same* sender leak far more.  The
+classic intersection attack multiplies the per-round posteriors: nodes that
+appear as suspects in every round (the sender, its DC-net group, its
+topological neighbourhood) accumulate weight, while candidates that churn
+from round to round — relay artefacts, diffusion froth — are suppressed.
+This is the first estimator surface in this repository that spans rounds
+and sessions rather than attacking each broadcast in isolation.
+
+The combination runs in log space with a per-round smoothing floor: a
+candidate a round never mentioned is not impossible (the spies simply did
+not see it), merely unlikely, so it receives a small fraction of that
+round's smallest observed probability instead of probability zero.  Without
+the floor one blind spot would veto an otherwise perfectly consistent
+suspect — the well-known brittleness of the pure intersection; with it the
+attack degrades gracefully into a weighted vote.
+
+Rounds with an empty posterior carry no information and are skipped.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from repro.privacy.posterior import Scores, normalize
+
+#: A missing candidate scores this fraction of the round's smallest
+#: observed probability.
+DEFAULT_FLOOR_RATIO = 0.01
+
+
+def combine_posteriors(
+    rounds: Iterable[Scores],
+    floor_ratio: float = DEFAULT_FLOOR_RATIO,
+) -> Scores:
+    """The product posterior over every candidate any round mentioned.
+
+    Args:
+        rounds: per-round posterior surfaces (unnormalised accepted);
+            empty surfaces are skipped as uninformative.
+        floor_ratio: smoothing floor for candidates absent from a round,
+            as a fraction of that round's smallest positive probability.
+
+    Returns:
+        The normalised combined posterior, or ``{}`` when every round was
+        uninformative.
+
+    Raises:
+        ValueError: for a non-positive ``floor_ratio`` or negative scores.
+    """
+    if floor_ratio <= 0:
+        raise ValueError("floor_ratio must be positive")
+    informative = [
+        {node: p for node, p in normalize(scores).items() if p > 0}
+        for scores in rounds
+        if scores
+    ]
+    if not informative:
+        return {}
+    log_weight: Dict[Hashable, float] = {}
+    # Candidates first mentioned in a later round retroactively pay the
+    # floor of every earlier round; ``debt`` carries that running sum.
+    debt = 0.0
+    log_ratio = math.log(floor_ratio)
+    for posterior in informative:
+        # Summed in log space: tiny tail probabilities (down to denormal
+        # floats) would underflow to 0.0 if multiplied first.
+        log_floor = math.log(min(posterior.values())) + log_ratio
+        for node in log_weight:
+            if node not in posterior:
+                log_weight[node] += log_floor
+        for node, p in posterior.items():
+            log_weight[node] = log_weight.get(node, debt) + math.log(p)
+        debt += log_floor
+    peak = max(log_weight.values())
+    return normalize(
+        {node: math.exp(value - peak) for node, value in log_weight.items()}
+    )
+
+
+class IntersectionAttack:
+    """Accumulates per-round posteriors keyed by (suspected) sender.
+
+    The experiment harness keys rounds by the ground-truth sender — the
+    simulation-side stand-in for the linkage a real attacker obtains from
+    on-chain identities (the same wallet posting many transactions).  Each
+    key holds the rounds observed so far; :meth:`combined` multiplies them
+    per :func:`combine_posteriors`.
+
+    Example:
+        >>> attack = IntersectionAttack()
+        >>> attack.observe("wallet", {"a": 0.5, "b": 0.5})
+        >>> attack.observe("wallet", {"a": 0.5, "c": 0.5})
+        >>> suspect, _ = max(attack.combined("wallet").items(),
+        ...                  key=lambda item: item[1])
+        >>> suspect
+        'a'
+    """
+
+    def __init__(self, floor_ratio: float = DEFAULT_FLOOR_RATIO) -> None:
+        if floor_ratio <= 0:
+            raise ValueError("floor_ratio must be positive")
+        self.floor_ratio = floor_ratio
+        self._rounds: Dict[Hashable, List[Scores]] = {}
+
+    def observe(self, sender_key: Hashable, scores: Scores) -> None:
+        """Record one round's posterior for ``sender_key``.
+
+        Empty surfaces are recorded (they count as rounds observed) but
+        carry no weight in the combination.
+        """
+        self._rounds.setdefault(sender_key, []).append(dict(scores))
+
+    def keys(self) -> List[Hashable]:
+        """The sender keys observed so far, in first-seen order."""
+        return list(self._rounds)
+
+    def rounds(self, sender_key: Hashable) -> int:
+        """Informative (non-empty) rounds recorded for ``sender_key``."""
+        return sum(1 for scores in self._rounds.get(sender_key, ()) if scores)
+
+    def combined(self, sender_key: Hashable) -> Scores:
+        """The multiplied posterior for one sender (``{}`` when blind)."""
+        return combine_posteriors(
+            self._rounds.get(sender_key, ()), self.floor_ratio
+        )
+
+    def outcomes(self) -> List[Tuple[Hashable, int, Scores]]:
+        """``(sender_key, informative_rounds, combined)`` per sender key."""
+        return [
+            (key, self.rounds(key), self.combined(key))
+            for key in self._rounds
+        ]

@@ -1,0 +1,93 @@
+"""The posterior protocol: how estimators expose attacker beliefs.
+
+The detection pipeline historically reduced every adversary to a single
+point guess per broadcast.  The paper's privacy claims, however, are
+statements about the attacker's *distribution* over candidate originators
+(ℓ-anonymity within a DC-net group, entropy-based obfuscation), so every
+estimator now also exposes
+
+``rank(payload_id) -> {node: score}``
+
+— a non-negative score per candidate originator, higher meaning more
+suspect.  Scores need not be normalised; :func:`normalize` turns them into
+a posterior probability distribution and :func:`argmax` names the top
+candidate under the one canonical tie-break used everywhere in this
+package (highest score, then smallest ``repr``).
+
+The contract that keeps historical numbers stable: an estimator's
+``guess()`` must equal ``argmax(rank(payload_id))`` whenever it names a
+suspect — ``guess()`` remains the argmax of the posterior surface, so all
+detection statistics stay seed-for-seed identical whether or not the
+privacy metrics run.
+
+:func:`estimator_rank` adapts *any* estimator to the posterior protocol:
+objects without a ``rank`` method degrade to a point mass on their
+``guess()`` (or an empty surface when they abstain), so third-party
+estimators keep working in privacy-enabled experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Protocol, Tuple, runtime_checkable
+
+Scores = Dict[Hashable, float]
+
+
+@runtime_checkable
+class PosteriorEstimator(Protocol):
+    """What the experiment harness expects from a posterior-capable estimator."""
+
+    def guess(self, payload_id: Hashable) -> Optional[Hashable]:
+        """The single best guess for the originator (``None`` = abstain)."""
+
+    def rank(self, payload_id: Hashable) -> Scores:
+        """Non-negative suspicion score per candidate (empty = no evidence)."""
+
+
+def canonical_order(scores: Scores) -> List[Tuple[Hashable, float]]:
+    """Candidates from most to least suspect, ties broken by ``repr``.
+
+    This is the one ordering every metric (top-k, expected rank) and every
+    ``guess`` tie-break in this package agrees on, so a posterior and its
+    argmax can never disagree about who the prime suspect is.
+    """
+    return sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))
+
+
+def argmax(scores: Scores) -> Optional[Hashable]:
+    """The top candidate under the canonical order (``None`` when empty)."""
+    if not scores:
+        return None
+    return min(scores.items(), key=lambda item: (-item[1], repr(item[0])))[0]
+
+
+def normalize(scores: Scores) -> Scores:
+    """Scores as a probability distribution (empty stays empty).
+
+    Raises:
+        ValueError: for negative scores or an all-zero surface.
+    """
+    if not scores:
+        return {}
+    if any(value < 0 for value in scores.values()):
+        raise ValueError("posterior scores must be non-negative")
+    total = sum(scores.values())
+    if total <= 0:
+        raise ValueError("posterior scores sum to zero")
+    return {node: value / total for node, value in scores.items()}
+
+
+def estimator_rank(estimator: object, payload_id: Hashable) -> Scores:
+    """The posterior surface of *any* estimator for one broadcast.
+
+    Estimators implementing the posterior protocol answer through
+    ``rank()``; plain point-guess estimators degrade to a unit mass on
+    their ``guess()`` (the distribution a certain attacker holds) or an
+    empty surface when they abstain.  Either way the result feeds the
+    metrics engine unchanged.
+    """
+    rank = getattr(estimator, "rank", None)
+    if callable(rank):
+        return rank(payload_id)
+    guessed = estimator.guess(payload_id)  # type: ignore[attr-defined]
+    return {} if guessed is None else {guessed: 1.0}

@@ -35,6 +35,7 @@ from repro.scenarios.spec import (
     AdversarySpec,
     ChurnSpec,
     ConditionsSpec,
+    PrivacySpec,
     ScenarioSpec,
     SeedPolicy,
     TopologySpec,
@@ -60,6 +61,7 @@ __all__ = [
     "AdversarySpec",
     "ChurnSpec",
     "ConditionsSpec",
+    "PrivacySpec",
     "ScenarioSpec",
     "SeedPolicy",
     "TopologySpec",

@@ -3,7 +3,7 @@
 Importing this module (which ``import repro.scenarios`` does) registers two
 families of presets:
 
-* ``e1``–``e12`` — the network settings of the benchmark suite
+* ``e1``–``e13`` — the network settings of the benchmark suite
   (``benchmarks/test_bench_e*.py``), one preset per experiment id, with the
   same overlays (family, size, seed), conditions, protocol parameters and
   master seeds the benchmarks use.  Benchmarks that sweep a parameter
@@ -215,6 +215,18 @@ E12 = register_scenario(ScenarioSpec(
     workload=WorkloadSpec(broadcasts=6),
     seeds=SeedPolicy(base_seed=12),
     tags=("paper", "e12"),
+))
+
+E13 = register_scenario(ScenarioSpec(
+    name="e13_anonymity_curves",
+    description="Anonymity-metric curves vs adversary fraction (base cell)",
+    topology=OVERLAY_100,
+    conditions=INTERNET,
+    protocol="flood",
+    adversary=AdversarySpec(fraction=0.2),
+    workload=WorkloadSpec(broadcasts=8),
+    seeds=SeedPolicy(base_seed=13),
+    tags=("privacy", "e13"),
 ))
 
 # ---------------------------------------------------------------------------

@@ -103,6 +103,7 @@ def run_scenario_once(
         is why a preset and its benchmark agree number for number.
     """
     compiled = compile_scenario(spec)
+    privacy = spec.privacy.build()
     return run_attack_experiment(
         compiled.graph,
         compiled.protocol,
@@ -113,6 +114,7 @@ def run_scenario_once(
         estimator=spec.adversary.estimator,
         sender_pool=spec.workload.sender_pool,
         session_hook=compiled.session_hook,
+        privacy=privacy if privacy is not None else False,
     )
 
 
@@ -136,8 +138,18 @@ def build_session(
 
 
 def experiment_metrics(result: ExperimentResult) -> Dict[str, float]:
-    """Flatten an :class:`ExperimentResult` into a metrics dictionary."""
-    return {
+    """Flatten an :class:`ExperimentResult` into a metrics dictionary.
+
+    With privacy measurement enabled (the default for every spec) the
+    dictionary also carries the anonymity metrics —
+    ``privacy_entropy``, ``privacy_min_entropy``, ``privacy_anonymity_set``,
+    ``privacy_norm_anonymity``, ``privacy_expected_rank``, one
+    ``privacy_top<k>`` per configured cutoff and, when the intersection
+    attack ran, ``privacy_intersection_entropy`` /
+    ``privacy_intersection_top1`` / ``privacy_entropy_reduction`` — so run
+    digests pin the full privacy surface of a scenario.
+    """
+    metrics = {
         "broadcasts": float(result.detection.total),
         "guesses": float(result.detection.guesses),
         "correct": float(result.detection.correct),
@@ -149,6 +161,9 @@ def experiment_metrics(result: ExperimentResult) -> Dict[str, float]:
         "mean_reach": float(result.mean_reach),
         "anonymity_floor": float(result.anonymity_floor),
     }
+    if result.privacy is not None:
+        metrics.update(result.privacy.to_metrics())
+    return metrics
 
 
 def observation_log_digest(simulator: Simulator) -> str:

@@ -27,6 +27,7 @@ import networkx as nx
 from repro.network.churn import ChurnEvent, ChurnSchedule, random_churn_schedule
 from repro.network.conditions import NetworkConditions
 from repro.network.latency import ConstantLatency
+from repro.privacy.metrics import DEFAULT_TOP_K, PrivacyConfig
 from repro.network.topology import (
     barabasi_albert_overlay,
     bitcoin_like_overlay,
@@ -149,6 +150,37 @@ class AdversarySpec:
 
 
 @dataclass(frozen=True)
+class PrivacySpec:
+    """The privacy-metrics configuration of a scenario.
+
+    Every run reports the information-theoretic anonymity metrics by
+    default (entropy, min-entropy, anonymity set, expected rank, top-k
+    success) plus the multi-round intersection attack; the metrics enter
+    the per-repetition runs and therefore the run digest.  ``enabled=False``
+    turns the whole measurement off (the runs then carry only the
+    detection metrics, as before the privacy subsystem existed).
+    """
+
+    enabled: bool = True
+    top_k: Tuple[int, ...] = DEFAULT_TOP_K
+    intersection: bool = True
+
+    def __post_init__(self) -> None:
+        # Delegate the cutoff validation to the config the engine runs on.
+        PrivacyConfig(top_k=tuple(self.top_k), intersection=self.intersection)
+        # JSON round-trips deliver lists; store the canonical tuple.
+        object.__setattr__(self, "top_k", tuple(self.top_k))
+
+    def build(self) -> Optional[PrivacyConfig]:
+        """The engine config this spec describes (``None`` when disabled)."""
+        if not self.enabled:
+            return None
+        return PrivacyConfig(
+            top_k=self.top_k, intersection=self.intersection
+        )
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """How many broadcasts a run performs and who originates them.
 
@@ -256,6 +288,7 @@ class ScenarioSpec:
         workload: broadcast count and sender pool.
         seeds: master seed and repetition fan-out.
         churn: optional failure/rejoin schedule.
+        privacy: which anonymity metrics the run reports.
         description: one line for catalogues and the CLI.
         tags: free-form labels (``"paper"``, ``"stress"``, ...).
     """
@@ -269,6 +302,7 @@ class ScenarioSpec:
     workload: WorkloadSpec = WorkloadSpec()
     seeds: SeedPolicy = SeedPolicy()
     churn: Optional[ChurnSpec] = None
+    privacy: PrivacySpec = PrivacySpec()
     description: str = ""
     tags: Tuple[str, ...] = ()
 
@@ -297,6 +331,7 @@ class ScenarioSpec:
         data["topology"]["params"] = dict(self.topology.params)
         data["protocol_options"] = dict(self.protocol_options)
         data["tags"] = list(self.tags)
+        data["privacy"]["top_k"] = list(self.privacy.top_k)
         if self.churn is not None:
             data["churn"]["events"] = [
                 [event.time, event.node, event.action]
@@ -337,6 +372,7 @@ class ScenarioSpec:
             workload=WorkloadSpec(**data.get("workload", {})),
             seeds=SeedPolicy(**data.get("seeds", {})),
             churn=churn,
+            privacy=PrivacySpec(**data.get("privacy", {})),
             description=data.get("description", ""),
             tags=tuple(data.get("tags", ())),
         )

@@ -103,3 +103,21 @@ class TestAttackExperiment:
     def test_unknown_protocol_rejected(self, overlay):
         with pytest.raises(ValueError):
             attack_experiment(overlay, "carrier-pigeon", 0.1)
+
+    def test_zero_broadcasts_rejected(self, overlay):
+        # Used to die with ZeroDivisionError on the messages mean.
+        from repro.analysis.experiment import run_attack_experiment
+
+        with pytest.raises(ValueError, match="broadcasts"):
+            run_attack_experiment(overlay, "flood", 0.2, broadcasts=0)
+        with pytest.raises(ValueError, match="broadcasts"):
+            attack_experiment(overlay, "flood", 0.2, broadcasts=-3)
+
+    def test_experiment_reports_privacy_block(self, overlay):
+        result = attack_experiment(
+            overlay, "flood", adversary_fraction=0.3, broadcasts=3, seed=0
+        )
+        assert result.privacy is not None
+        assert result.privacy.broadcasts == 3
+        assert result.privacy.population == overlay.number_of_nodes()
+        assert result.privacy.intersection is not None

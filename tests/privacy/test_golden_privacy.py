@@ -1,0 +1,75 @@
+"""Golden pins for the privacy metrics of two scenario presets.
+
+One paper preset (E4: first-spy against flooding — the concentrated,
+low-entropy regime) and one stress preset (mixed multi-sender three-phase —
+the high-entropy regime the intersection attack bites into).  The values
+are the exact metrics of each preset's base-seed repetition; drift in any
+layer feeding the privacy engine — estimator surfaces, metric definitions,
+intersection combination — fails here with the metric named.
+
+When a change intentionally alters the privacy surface, regenerate with::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.scenarios import run_scenario_once, scenario
+    from repro.scenarios.runner import experiment_metrics
+    for name in ("e4_broadcast_deanonymization", "stress_mixed_senders"):
+        metrics = experiment_metrics(run_scenario_once(scenario(name)))
+        print(name, {k: v for k, v in metrics.items() if k.startswith("privacy")})
+    EOF
+
+and say so in the commit message (the committed scenario results under
+``benchmarks/results/scenarios/`` must be regenerated in the same commit).
+"""
+
+import pytest
+
+from repro.scenarios import run_scenario_once, scenario
+from repro.scenarios.runner import experiment_metrics
+
+GOLDEN_PRIVACY_METRICS = {
+    "e4_broadcast_deanonymization": {
+        "privacy_anonymity_set": 3.25,
+        "privacy_entropy": 0.10921879751417052,
+        "privacy_expected_rank": 28.75,
+        "privacy_intersection_entropy": 0.10921879751417042,
+        "privacy_intersection_top1": 0.5,
+        "privacy_min_entropy": 0.06658795115299561,
+        "privacy_norm_anonymity": 0.01625,
+        "privacy_top1": 0.5,
+        "privacy_top3": 0.8333333333333334,
+        "privacy_top5": 0.8333333333333334,
+    },
+    "stress_mixed_senders": {
+        "privacy_anonymity_set": 13.2,
+        "privacy_entropy": 2.4485658422538057,
+        "privacy_entropy_reduction": 0.02255047504837515,
+        "privacy_expected_rank": 3.0,
+        "privacy_intersection_entropy": 2.4260153672054305,
+        "privacy_intersection_top1": 0.4,
+        "privacy_min_entropy": 2.238737719472664,
+        "privacy_norm_anonymity": 0.088,
+        "privacy_top1": 0.4,
+        "privacy_top3": 0.6,
+        "privacy_top5": 0.8,
+    },
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PRIVACY_METRICS))
+def test_preset_privacy_metrics_unchanged(name):
+    metrics = experiment_metrics(run_scenario_once(scenario(name)))
+    for key, expected in GOLDEN_PRIVACY_METRICS[name].items():
+        assert metrics[key] == pytest.approx(expected, rel=1e-12), (
+            f"{name}: {key} drifted; if intentional, regenerate the goldens "
+            "(see module docstring)"
+        )
+
+
+def test_goldens_span_both_regimes():
+    # The pinned pair is meaningful: one near-certain attacker (E4) and
+    # one genuinely uncertain attacker (mixed senders) — so regressions in
+    # either tail of the metric range are caught.
+    e4 = GOLDEN_PRIVACY_METRICS["e4_broadcast_deanonymization"]
+    mixed = GOLDEN_PRIVACY_METRICS["stress_mixed_senders"]
+    assert e4["privacy_entropy"] < 0.5 < mixed["privacy_entropy"]
+    assert mixed["privacy_entropy_reduction"] > 0.0

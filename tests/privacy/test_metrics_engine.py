@@ -1,0 +1,162 @@
+"""The privacy-metrics engine: per-broadcast samples and streaming means."""
+
+import pytest
+
+from repro.privacy.metrics import (
+    BroadcastPrivacy,
+    PrivacyAccumulator,
+    PrivacyConfig,
+    broadcast_privacy,
+    summarize_intersection,
+)
+
+
+class TestPrivacyConfig:
+    def test_defaults(self):
+        config = PrivacyConfig()
+        assert config.top_k == (1, 3, 5)
+        assert config.intersection
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivacyConfig(top_k=())
+        with pytest.raises(ValueError):
+            PrivacyConfig(top_k=(0, 1))
+        with pytest.raises(ValueError):
+            PrivacyConfig(top_k=(3, 1))
+        with pytest.raises(ValueError):
+            PrivacyConfig(top_k=(1, 1, 3))
+
+
+class TestBroadcastPrivacy:
+    def test_point_mass_on_the_truth(self):
+        sample = broadcast_privacy({"s": 1.0}, "s", population=100)
+        assert sample.entropy == pytest.approx(0.0)
+        assert sample.min_entropy == pytest.approx(0.0)
+        assert sample.anonymity_set == 1
+        assert sample.normalized_anonymity == pytest.approx(0.01)
+        assert sample.expected_rank == 1.0
+        assert sample.top_hits == (True, True, True)
+
+    def test_uniform_posterior(self):
+        posterior = {node: 1 / 8 for node in range(8)}
+        sample = broadcast_privacy(posterior, 3, population=8)
+        assert sample.entropy == pytest.approx(3.0)
+        assert sample.min_entropy == pytest.approx(3.0)
+        assert sample.anonymity_set == 8
+        assert sample.normalized_anonymity == pytest.approx(1.0)
+        # Ties average: the truth sits in the middle of the tie block.
+        assert sample.expected_rank == pytest.approx(4.5)
+
+    def test_blind_attacker_conventions(self):
+        sample = broadcast_privacy({}, "s", population=64)
+        assert sample.entropy == pytest.approx(6.0)
+        assert sample.min_entropy == pytest.approx(6.0)
+        assert sample.anonymity_set == 64
+        assert sample.normalized_anonymity == 1.0
+        assert sample.expected_rank == pytest.approx(32.5)
+        assert sample.top_hits == (False, False, False)
+        assert sample.candidates == 0
+
+    def test_truth_ruled_out_sits_in_unranked_remainder(self):
+        sample = broadcast_privacy(
+            {"a": 0.5, "b": 0.5}, "s", population=10
+        )
+        assert sample.top_hits == (False, False, False)
+        # 2 ranked candidates, truth uniform among the remaining 8.
+        assert sample.expected_rank == pytest.approx(2 + 4.5)
+
+    def test_tie_averaged_rank_ignores_repr(self):
+        # Whatever the node names, a two-way tie at the top averages 1.5.
+        for names in (("a", "z"), ("z", "a")):
+            posterior = {names[0]: 0.4, names[1]: 0.4, "mid": 0.2}
+            sample = broadcast_privacy(posterior, names[1], population=10)
+            assert sample.expected_rank == pytest.approx(1.5)
+
+    def test_top_k_is_deterministic_canonical_order(self):
+        posterior = {"a": 0.4, "b": 0.4, "c": 0.2}
+        # "a" precedes "b" by repr in the tie, so top-1 hits only for "a".
+        assert broadcast_privacy(posterior, "a", 10, (1,)).top_hits == (True,)
+        assert broadcast_privacy(posterior, "b", 10, (1,)).top_hits == (False,)
+        assert broadcast_privacy(posterior, "b", 10, (2,)).top_hits == (True,)
+
+    def test_vanishing_tail_does_not_enlarge_anonymity_set(self):
+        posterior = {"a": 1.0, "b": 1e-30}
+        sample = broadcast_privacy(posterior, "a", population=10)
+        assert sample.anonymity_set == 1
+        assert sample.candidates == 2
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            broadcast_privacy({"a": 1.0}, "a", population=0)
+
+
+class TestAccumulator:
+    def test_streaming_means(self):
+        accumulator = PrivacyAccumulator(population=8, top_k=(1, 2))
+        # Sender 7 hides in a uniform posterior (last in canonical order),
+        # then is fully exposed: the means average a miss and a hit.
+        accumulator.add({n: 1 / 8 for n in range(8)}, 7)
+        accumulator.add({7: 1.0}, 7)
+        report = accumulator.report()
+        assert report.broadcasts == 2
+        assert report.entropy == pytest.approx(1.5)
+        assert report.top_k == (1, 2)
+        assert report.top_k_success == (pytest.approx(0.5), pytest.approx(0.5))
+        assert report.entropy == pytest.approx(accumulator.mean_entropy)
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ValueError):
+            PrivacyAccumulator(population=4).report()
+
+    def test_to_metrics_flattening(self):
+        accumulator = PrivacyAccumulator(population=4, top_k=(1, 3))
+        accumulator.add({0: 1.0}, 0)
+        intersection = summarize_intersection(
+            [(0, 1, {0: 1.0})], population=4,
+            single_round_entropy=accumulator.mean_entropy,
+        )
+        metrics = accumulator.report(intersection).to_metrics()
+        assert metrics["privacy_entropy"] == pytest.approx(0.0)
+        assert metrics["privacy_top1"] == 1.0
+        assert metrics["privacy_top3"] == 1.0
+        assert metrics["privacy_intersection_top1"] == 1.0
+        assert "privacy_entropy_reduction" in metrics
+        assert all(isinstance(v, float) for v in metrics.values())
+
+    def test_metrics_without_intersection(self):
+        accumulator = PrivacyAccumulator(population=4)
+        accumulator.add({}, 0)
+        metrics = accumulator.report().to_metrics()
+        assert "privacy_intersection_entropy" not in metrics
+        assert metrics["privacy_entropy"] == pytest.approx(2.0)
+
+
+class TestSummarizeIntersection:
+    def test_empty_outcomes(self):
+        assert summarize_intersection([], 10, 1.0) is None
+
+    def test_blind_senders_contribute_blind_metrics(self):
+        report = summarize_intersection(
+            [("s", 0, {})], population=16, single_round_entropy=4.0
+        )
+        assert report.senders == 1
+        assert report.entropy == pytest.approx(4.0)
+        assert report.top1_success == 0.0
+        assert report.entropy_reduction == pytest.approx(0.0)
+
+    def test_mixed_senders(self):
+        report = summarize_intersection(
+            [("a", 2, {"a": 1.0}), ("b", 1, {})],
+            population=16,
+            single_round_entropy=4.0,
+        )
+        assert report.senders == 2
+        assert report.rounds_mean == pytest.approx(1.5)
+        assert report.entropy == pytest.approx(2.0)
+        assert report.top1_success == pytest.approx(0.5)
+        assert report.entropy_reduction == pytest.approx(2.0)
+
+    def test_sample_is_dataclass(self):
+        sample = broadcast_privacy({"a": 1.0}, "a", 4)
+        assert isinstance(sample, BroadcastPrivacy)

@@ -1,0 +1,117 @@
+"""Property tests for the metric identities of the privacy engine.
+
+The identities pinned here are the definitions the docs promise
+(``docs/PRIVACY.md``): a uniform posterior over ``n`` candidates carries
+``log2(n)`` bits of entropy, a point mass carries none, top-k success is
+monotone in ``k``, and the streaming accumulator is exactly the mean of
+its per-broadcast samples.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy.entropy import min_entropy, shannon_entropy
+from repro.privacy.intersection import combine_posteriors
+from repro.privacy.metrics import PrivacyAccumulator, broadcast_privacy
+from repro.privacy.posterior import argmax, normalize
+
+#: Candidate populations: small enough to stay fast, large enough to bite.
+sizes = st.integers(min_value=1, max_value=64)
+
+#: Raw posterior surfaces: up to 16 string-named candidates with positive
+#: weights spanning twelve orders of magnitude.
+posteriors = st.dictionaries(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=3),
+    st.floats(min_value=1e-9, max_value=1e3),
+    min_size=1,
+    max_size=16,
+)
+
+
+class TestEntropyIdentities:
+    @given(n=sizes)
+    def test_uniform_posterior_has_log2_n_entropy(self, n):
+        posterior = {i: 1.0 / n for i in range(n)}
+        assert shannon_entropy(posterior) == pytest.approx(math.log2(n) if n > 1 else 0.0)
+        assert min_entropy(posterior) == pytest.approx(math.log2(n) if n > 1 else 0.0)
+
+    @given(n=sizes, weight=st.floats(min_value=1e-6, max_value=1e6))
+    def test_point_mass_has_zero_entropy(self, n, weight):
+        posterior = {0: weight}
+        posterior.update({i: 0.0 for i in range(1, n)})
+        assert shannon_entropy(posterior) == pytest.approx(0.0)
+        assert min_entropy(posterior) == pytest.approx(0.0)
+
+    @given(scores=posteriors)
+    def test_min_entropy_never_exceeds_shannon(self, scores):
+        assert min_entropy(scores) <= shannon_entropy(scores) + 1e-9
+
+    @given(scores=posteriors)
+    def test_normalization_preserves_entropy_and_argmax(self, scores):
+        normalised = normalize(scores)
+        assert sum(normalised.values()) == pytest.approx(1.0)
+        assert shannon_entropy(normalised) == pytest.approx(
+            shannon_entropy(scores)
+        )
+        assert argmax(normalised) == argmax(scores)
+
+
+class TestBroadcastPrivacyProperties:
+    @given(scores=posteriors, population=st.integers(16, 256))
+    def test_top_k_success_is_monotone_in_k(self, scores, population):
+        truth = sorted(scores)[0]
+        ladder = (1, 2, 3, 5, 8, 13)
+        sample = broadcast_privacy(scores, truth, population, ladder)
+        hits = list(sample.top_hits)
+        assert hits == sorted(hits)  # False may never follow True
+
+    @given(scores=posteriors, population=st.integers(16, 256))
+    def test_metric_bounds(self, scores, population):
+        truth = sorted(scores)[0]
+        sample = broadcast_privacy(scores, truth, population)
+        assert 0.0 - 1e-9 <= sample.entropy <= math.log2(population) + 1e-9
+        assert sample.min_entropy <= sample.entropy + 1e-9
+        assert 1 <= sample.anonymity_set <= population
+        assert 1.0 - 1e-9 <= sample.expected_rank <= population + 1e-9
+
+    @given(n=st.integers(min_value=2, max_value=64))
+    def test_uniform_posterior_metrics(self, n):
+        posterior = {i: 1.0 / n for i in range(n)}
+        sample = broadcast_privacy(posterior, 0, population=n)
+        assert sample.entropy == pytest.approx(math.log2(n))
+        assert sample.normalized_anonymity == pytest.approx(1.0)
+        assert sample.expected_rank == pytest.approx((n + 1) / 2)
+
+    @given(lists=st.lists(posteriors, min_size=1, max_size=6),
+           population=st.integers(16, 128))
+    @settings(max_examples=25)
+    def test_accumulator_is_the_mean_of_samples(self, lists, population):
+        accumulator = PrivacyAccumulator(population)
+        samples = [accumulator.add(scores, "t") for scores in lists]
+        report = accumulator.report()
+        assert report.entropy == pytest.approx(
+            sum(s.entropy for s in samples) / len(samples)
+        )
+        assert report.expected_rank == pytest.approx(
+            sum(s.expected_rank for s in samples) / len(samples)
+        )
+
+
+class TestIntersectionProperties:
+    @given(scores=posteriors)
+    def test_repeating_one_round_only_sharpens(self, scores):
+        once = normalize(scores)
+        twice = combine_posteriors([scores, scores])
+        assert shannon_entropy(twice) <= shannon_entropy(once) + 1e-9
+        assert argmax(twice) == argmax(once)
+
+    @given(lists=st.lists(posteriors, min_size=1, max_size=5))
+    @settings(max_examples=25)
+    def test_combination_is_a_distribution_over_the_support(self, lists):
+        combined = combine_posteriors(lists)
+        support = set().union(*(set(scores) for scores in lists))
+        assert set(combined) == support
+        assert sum(combined.values()) == pytest.approx(1.0)

@@ -49,6 +49,50 @@ class TestCli:
         assert document["spec"]["name"] == "e4_broadcast_deanonymization"
         assert document["runs"][0]["mean_reach"] == 1.0
         assert document["digest"] in proc.stdout
+        # Privacy metrics ride along in every run by default.
+        assert document["runs"][0]["privacy_entropy"] > 0.0
+        assert "privacy_intersection_entropy" in document["runs"][0]
+
+    def test_run_seed_override(self, tmp_path):
+        # Same scenario, two seeds: the override must change the run (and
+        # its digest) without editing the committed spec.
+        outs = []
+        for seed in ("10", "99"):
+            out = tmp_path / f"seed{seed}.json"
+            proc = _run(
+                "run", "e4_broadcast_deanonymization",
+                "--repetitions", "1", "--seed", seed,
+                "--json-out", str(out),
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs.append(json.loads(out.read_text()))
+        assert outs[0]["spec"]["seeds"]["base_seed"] == 10
+        assert outs[1]["spec"]["seeds"]["base_seed"] == 99
+        assert outs[0]["digest"] != outs[1]["digest"]
+
+    def test_run_estimator_override(self, tmp_path):
+        out = tmp_path / "estimator.json"
+        proc = _run(
+            "run", "e4_broadcast_deanonymization",
+            "--repetitions", "1", "--estimator", "rumor_centrality",
+            "--json-out", str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        document = json.loads(out.read_text())
+        assert document["spec"]["adversary"]["estimator"] == "rumor_centrality"
+
+    def test_run_no_privacy(self, tmp_path):
+        out = tmp_path / "noprivacy.json"
+        proc = _run(
+            "run", "e4_broadcast_deanonymization",
+            "--repetitions", "1", "--no-privacy", "--json-out", str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        document = json.loads(out.read_text())
+        assert document["spec"]["privacy"]["enabled"] is False
+        assert not any(
+            key.startswith("privacy") for key in document["runs"][0]
+        )
 
     def test_run_spec_file(self, tmp_path):
         # describe → edit → run: the offline spec workflow.

@@ -62,6 +62,8 @@ GOLDEN_OBSERVATION_DIGESTS = {
         "bb8b05121b112121c66107cbbe8e2a728fd132ce9bc0630a69f007e47aef3c96",
     "e12_protocol_faceoff":
         "f361b090d772539263a7471fd2c2293246a9d575c8c0a5df324900bba3160e4e",
+    "e13_anonymity_curves":
+        "be09d221bb206bef321e072b0cfa2e40ea55d82cf247898db9b634edc5994ac5",
     "quickstart":
         "18c27ecc965ace0e5cfa09c2168db4f64003fbed0b5cc74dae72f734833c34bf",
     "stress_lossy_wan":

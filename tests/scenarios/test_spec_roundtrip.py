@@ -11,6 +11,7 @@ from repro.scenarios import (
     AdversarySpec,
     ChurnSpec,
     ConditionsSpec,
+    PrivacySpec,
     ScenarioRunner,
     ScenarioSpec,
     SeedPolicy,
@@ -43,6 +44,7 @@ FULL_SPEC = ScenarioSpec(
         leave_fraction=0.1, leave_time=0.2, rejoin_after=1.5,
         events=(ChurnEvent(0.9, 7, "leave"),),
     ),
+    privacy=PrivacySpec(top_k=(1, 2, 4), intersection=False),
     tags=("test", "full"),
 )
 
@@ -122,6 +124,24 @@ class TestSpecValidation:
             ChurnSpec(leave_fraction=1.2)
         with pytest.raises(ValueError):
             ChurnSpec(leave_fraction=0.1, rejoin_after=-1.0)
+
+    def test_privacy_bounds(self):
+        with pytest.raises(ValueError):
+            PrivacySpec(top_k=())
+        with pytest.raises(ValueError):
+            PrivacySpec(top_k=(3, 1))
+
+    def test_privacy_top_k_normalised_to_tuple(self):
+        # JSON delivers lists; the spec stores (and compares) tuples.
+        assert PrivacySpec(top_k=[1, 2]).top_k == (1, 2)
+        assert PrivacySpec(top_k=[1, 2]) == PrivacySpec(top_k=(1, 2))
+
+    def test_privacy_build(self):
+        assert PrivacySpec(enabled=False).build() is None
+        config = PrivacySpec(top_k=(2,), intersection=False).build()
+        assert config is not None
+        assert config.top_k == (2,)
+        assert config.intersection is False
 
     def test_derive_replaces_fields(self):
         derived = FULL_SPEC.derive(protocol="flood", protocol_options={})
