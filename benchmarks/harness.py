@@ -43,7 +43,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 __all__ = [
     "Scenario",
     "SCENARIOS",
+    "adaptive_attack_scenario",
     "attack_privacy_scenario",
+    "byzantine_blame_scenario",
     "calibrate",
     "compare_reports",
     "dcnet_round_scenario",
@@ -203,6 +205,110 @@ def attack_privacy_scenario(
     )
 
 
+def adaptive_attack_scenario(
+    name: str,
+    size: int = 150,
+    degree: int = 8,
+    overlay_seed: int = 47,
+    adversary_fraction: float = 0.2,
+    broadcasts: int = 8,
+    run_seed: int = 0,
+    smoke: bool = False,
+) -> Scenario:
+    """E14 — first-spy attack with the posterior-chasing adaptive attacker.
+
+    The adaptive model (``repro/threat/adaptive.py``) re-draws the
+    monitored set between broadcasts from the accumulated posterior mass,
+    so this scenario times the full adaptation loop on top of the E13
+    pipeline: dissemination, estimator, score folding and re-placement.
+    Events are the deliveries performed, comparable to E13's number — the
+    gap between the two is the cost of adapting.
+    """
+
+    def setup() -> Any:
+        from repro.network.topology import random_regular_overlay
+
+        return random_regular_overlay(size, degree=degree, seed=overlay_seed)
+
+    def run(overlay: Any) -> int:
+        from repro.analysis.experiment import run_attack_experiment
+        from repro.network.conditions import NetworkConditions
+        from repro.threat import AdaptiveMonitoringAdversary
+
+        result = run_attack_experiment(
+            overlay,
+            "flood",
+            adversary_fraction,
+            broadcasts=broadcasts,
+            seed=run_seed,
+            conditions=NetworkConditions(),
+            adversary=AdaptiveMonitoringAdversary(),
+        )
+        assert result.adversary_metrics["adaptive_repositions"] > 0
+        return int(round(result.messages_per_broadcast * broadcasts))
+
+    return Scenario(
+        name=name,
+        description=f"E14 adaptive attacker, {size} peers, "
+        f"{adversary_fraction:.0%} adversary, {broadcasts} broadcasts",
+        setup=setup,
+        run=run,
+        smoke=smoke,
+    )
+
+
+def byzantine_blame_scenario(
+    name: str,
+    size: int = 100,
+    group_size: int = 8,
+    broadcasts: int = 4,
+    run_seed: int = 5,
+    smoke: bool = False,
+) -> Scenario:
+    """E14 — Byzantine DC-net member forcing full blame investigations.
+
+    Each attacked broadcast replays the source's group as a committed
+    round with flipped shares and runs the commit-then-open investigation
+    (``repro/dcnet/blame.py``) to a verdict.  Events are the blame
+    protocol's own transmissions (share digests + openings), so the number
+    tracks the countermeasure's overhead, not the broadcast underneath.
+    """
+
+    def setup() -> Any:
+        from repro.network.topology import random_regular_overlay
+
+        return random_regular_overlay(size, degree=8, seed=11)
+
+    def run(overlay: Any) -> int:
+        from repro.analysis.experiment import run_attack_experiment
+        from repro.protocols import protocol_class
+        from repro.threat import ByzantineDCNetAdversary
+
+        result = run_attack_experiment(
+            overlay,
+            protocol_class("three_phase").from_options(
+                group_size=group_size, diffusion_depth=3
+            ),
+            0.1,
+            broadcasts=broadcasts,
+            seed=run_seed,
+            privacy=False,
+            adversary=ByzantineDCNetAdversary(tamper="flip", policy="expel"),
+        )
+        overhead = int(result.adversary_metrics["blame_overhead_messages"])
+        assert overhead > 0
+        return overhead
+
+    return Scenario(
+        name=name,
+        description=f"E14 Byzantine blame rounds, {size} peers, "
+        f"groups of {group_size}, {broadcasts} broadcasts",
+        setup=setup,
+        run=run,
+        smoke=smoke,
+    )
+
+
 #: The tracked scenario suite.  ``--smoke`` runs the marked subset.
 SCENARIOS: Dict[str, Scenario] = {
     scenario.name: scenario
@@ -212,6 +318,8 @@ SCENARIOS: Dict[str, Scenario] = {
         flood_scenario("e11_flood_2000", size=2000, smoke=True),
         flood_scenario("e11_flood_5000", size=5000),
         attack_privacy_scenario("e13_attack_privacy_200", smoke=True),
+        adaptive_attack_scenario("e14_adaptive_attack_150", smoke=True),
+        byzantine_blame_scenario("e14_byzantine_blame_100", smoke=True),
     )
 }
 

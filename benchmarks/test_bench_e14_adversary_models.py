@@ -1,0 +1,149 @@
+"""E14 — adversary models: adaptation curves and blame overhead.
+
+The adversary & fault library (``docs/ADVERSARIES.md``) upgrades the
+attacker from a passive botnet to active models.  E14 measures the two
+that change the paper's numbers:
+
+* **adaptation curve** — attacker-posterior entropy vs the number of
+  broadcasts the adaptive attacker has observed, against the static
+  botnet on the identical workload.  The pinned shape: the adaptive
+  advantage (static entropy minus adaptive entropy) is positive at every
+  point and weakly grows with rounds — acting on the posterior compounds.
+* **blame overhead curve** — the commit-then-open blame protocol's
+  transmissions per disrupted round vs the DC-net group size.  The pinned
+  shape: overhead is at least ``2·k·(k−1)`` (digests + openings for every
+  directed member pair) and strictly grows with the configured group
+  size, while every flip disruption is attributed to exactly the
+  disruptor.
+"""
+
+import dataclasses
+
+from repro.analysis.experiment import run_attack_experiment
+from repro.analysis.reporting import format_table
+from repro.network.topology import random_regular_overlay
+from repro.protocols import protocol_class
+from repro.scenarios import run_scenario_once, scenario
+from repro.threat import ByzantineDCNetAdversary
+
+ADAPTIVE_ROUNDS = (2, 6, 12)
+GROUP_SIZES = (3, 5, 8)
+
+#: The registered adaptive environment; every cell is a derived spec.
+BASE = scenario("adv_adaptive_mixed_senders")
+
+
+def _measure_adaptation():
+    curve = []
+    for rounds in ADAPTIVE_ROUNDS:
+        by_model = {}
+        for model in ("adaptive", "static"):
+            spec = BASE.derive(
+                workload=dataclasses.replace(
+                    BASE.workload, broadcasts=rounds
+                ),
+                adversary=dataclasses.replace(
+                    BASE.adversary, model=model, model_params={}
+                ),
+            )
+            by_model[model] = run_scenario_once(spec)
+        curve.append((rounds, by_model))
+    return curve
+
+
+def _measure_blame():
+    overlay = random_regular_overlay(100, degree=8, seed=11)
+    curve = []
+    for group_size in GROUP_SIZES:
+        result = run_attack_experiment(
+            overlay,
+            protocol_class("three_phase").from_options(
+                group_size=group_size, diffusion_depth=3
+            ),
+            0.1,
+            broadcasts=4,
+            seed=5,
+            privacy=False,
+            # Dissolve keeps the membership intact, so every disrupted
+            # round pays the full group's blame cost.
+            adversary=ByzantineDCNetAdversary(
+                tamper="flip", policy="dissolve"
+            ),
+        )
+        curve.append((group_size, result.adversary_metrics))
+    return curve
+
+
+def test_e14_adaptive_entropy_curve(benchmark):
+    curve = benchmark.pedantic(_measure_adaptation, iterations=1, rounds=1)
+    print()
+    print(
+        format_table(
+            ["rounds", "adaptive entropy", "static entropy", "advantage",
+             "repositions"],
+            [
+                [
+                    rounds,
+                    res["adaptive"].privacy.entropy,
+                    res["static"].privacy.entropy,
+                    res["static"].privacy.entropy
+                    - res["adaptive"].privacy.entropy,
+                    res["adaptive"].adversary_metrics[
+                        "adaptive_repositions"
+                    ],
+                ]
+                for rounds, res in curve
+            ],
+            title="E14: attacker-posterior entropy vs adaptive rounds",
+        )
+    )
+    advantages = [
+        res["static"].privacy.entropy - res["adaptive"].privacy.entropy
+        for _, res in curve
+    ]
+    assert all(advantage > 0 for advantage in advantages)
+    # Compounding: more observed rounds never shrink the advantage.
+    assert all(
+        later >= earlier - 1e-9
+        for earlier, later in zip(advantages, advantages[1:])
+    )
+
+
+def test_e14_blame_overhead_curve(benchmark):
+    curve = benchmark.pedantic(_measure_blame, iterations=1, rounds=1)
+    print()
+    print(
+        format_table(
+            ["group size", "blame rounds", "overhead/round",
+             "floor 2k(k-1)", "correct attributions"],
+            [
+                [
+                    group_size,
+                    metrics["blame_rounds"],
+                    metrics["blame_overhead_messages"]
+                    / metrics["blame_rounds"],
+                    2 * group_size * (group_size - 1),
+                    metrics["blame_correct_attributions"],
+                ]
+                for group_size, metrics in curve
+            ],
+            title="E14: blame protocol overhead vs DC-net group size",
+        )
+    )
+    per_round = []
+    for group_size, metrics in curve:
+        assert metrics["blame_rounds"] > 0
+        # Flip disruptions are always attributable — to the disruptor.
+        assert (
+            metrics["blame_correct_attributions"]
+            == metrics["blame_rounds"]
+        )
+        overhead = (
+            metrics["blame_overhead_messages"] / metrics["blame_rounds"]
+        )
+        # Digests + openings for every directed pair of the (at least
+        # group_size-strong) group.
+        assert overhead >= 2 * group_size * (group_size - 1)
+        per_round.append(overhead)
+    assert per_round == sorted(per_round)
+    assert per_round[0] < per_round[-1]

@@ -24,6 +24,10 @@ enumerates, inspects and executes them:
     python scripts/scenario.py run stress_mixed_senders \
         --repetitions 5 --seed 99 --estimator rumor_centrality
 
+    # swap in an active adversary model (see docs/ADVERSARIES.md)
+    python scripts/scenario.py run stress_mixed_senders \
+        --adversary-model adaptive
+
 Every run reports the anonymity metrics of the privacy subsystem
 (``docs/PRIVACY.md``) next to the detection numbers; ``--no-privacy``
 turns them off.
@@ -69,6 +73,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
         extras = []
         if spec.churn is not None:
             extras.append("churn")
+        if spec.adversary.model != "static":
+            extras.append(f"model={spec.adversary.model}")
+        for fault in spec.faults:
+            extras.append(f"fault={fault.model}")
         if spec.conditions.loss_probability > 0:
             extras.append(f"loss {spec.conditions.loss_probability:.0%}")
         if spec.workload.sender_pool:
@@ -104,17 +112,30 @@ def _load_spec(args: argparse.Namespace) -> ScenarioSpec:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    spec = _load_spec(args)
-    if args.seed is not None:
-        spec = spec.derive(
-            seeds=dataclasses.replace(spec.seeds, base_seed=args.seed)
-        )
-    if args.estimator is not None:
-        spec = spec.derive(
-            adversary=dataclasses.replace(
-                spec.adversary, estimator=args.estimator
+    # Spec construction validates every registry name (estimator, adversary
+    # model, fault model) and raises KeyError listing the registered
+    # alternatives; surface that as a clean CLI error, not a traceback.
+    try:
+        spec = _load_spec(args)
+        if args.seed is not None:
+            spec = spec.derive(
+                seeds=dataclasses.replace(spec.seeds, base_seed=args.seed)
             )
-        )
+        if args.estimator is not None:
+            spec = spec.derive(
+                adversary=dataclasses.replace(
+                    spec.adversary, estimator=args.estimator
+                )
+            )
+        if args.adversary_model is not None:
+            spec = spec.derive(
+                adversary=dataclasses.replace(
+                    spec.adversary, model=args.adversary_model
+                )
+            )
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
     if args.no_privacy:
         spec = spec.derive(privacy=PrivacySpec(enabled=False))
     runner = ScenarioRunner(processes=args.processes)
@@ -187,8 +208,14 @@ def main(argv: Optional[list] = None) -> int:
         help="override the spec's base seed",
     )
     run_parser.add_argument(
-        "--estimator", default=None, choices=sorted(ESTIMATORS),
-        help="override the spec's source estimator",
+        "--estimator", default=None,
+        help="override the spec's source estimator "
+             f"({', '.join(sorted(ESTIMATORS))})",
+    )
+    run_parser.add_argument(
+        "--adversary-model", default=None,
+        help="override the spec's adversary behaviour model "
+             "(see `repro.threat`; e.g. adaptive, eclipse, byzantine_dcnet)",
     )
     run_parser.add_argument(
         "--no-privacy", action="store_true",

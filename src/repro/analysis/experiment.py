@@ -30,7 +30,7 @@ protocols face the same environment.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
@@ -61,8 +61,9 @@ from repro.privacy.metrics import (
     PrivacyReport,
     summarize_intersection,
 )
-from repro.privacy.posterior import estimator_rank
+from repro.privacy.posterior import Scores, estimator_rank
 from repro.protocols import BroadcastProtocol, create_protocol
+from repro.threat.base import AdversaryModel
 
 #: An estimator factory: called once per attacked broadcast with the
 #: session's simulator and the adversary's observer set; the returned object
@@ -117,6 +118,10 @@ class ExperimentResult:
             (entropy, anonymity sets, top-k success, intersection attack),
             computed from the estimator's posterior surfaces; ``None`` when
             privacy measurement was disabled.
+        adversary_metrics: model-specific counters reported by the active
+            :class:`~repro.threat.base.AdversaryModel` (repositionings,
+            blame verdicts, severed links, ...); empty for the static
+            attacker.
     """
 
     protocol: str
@@ -127,6 +132,7 @@ class ExperimentResult:
     estimator: str = "first_spy"
     mean_reach: float = 1.0
     privacy: Optional[PrivacyReport] = None
+    adversary_metrics: Dict[str, float] = field(default_factory=dict)
 
 
 def _pick_sources(
@@ -161,6 +167,7 @@ def run_attack_experiment(
     sender_pool: Optional[int] = None,
     session_hook: Optional[Callable[[object], None]] = None,
     privacy: Union[bool, PrivacyConfig] = True,
+    adversary: Optional[AdversaryModel] = None,
 ) -> ExperimentResult:
     """Run the deanonymisation experiment against one registered protocol.
 
@@ -195,6 +202,13 @@ def run_attack_experiment(
             entirely.  Privacy measurement is a pure read over the
             estimator's posterior surface — it draws no randomness and
             changes no detection numbers.
+        adversary: an active :class:`~repro.threat.base.AdversaryModel`
+            driving observer placement and per-broadcast behaviour
+            (adaptive re-positioning, eclipse scheduling, DC-net blame
+            rounds).  ``None`` keeps the historical static botnet code
+            path untouched.  A model's default ``place()`` consumes
+            exactly the static deployment's RNG draws, so models that do
+            not adapt stay seed-for-seed identical to ``adversary=None``.
 
     Session handling follows the protocol's declaration: a
     ``shared_session`` protocol (three-phase) builds one session for all
@@ -240,27 +254,45 @@ def run_attack_experiment(
         if privacy_config.intersection:
             linker = IntersectionAttack()
 
-    def attack(guesser: object, source: Hashable, payload_id: Hashable) -> None:
+    def attack(
+        guesser: object, source: Hashable, payload_id: Hashable
+    ) -> Optional[Scores]:
         """One broadcast's point guess plus (optionally) its posterior."""
         outcomes.append((source, guesser.guess(payload_id)))
-        if accumulator is not None:
+        scores: Optional[Scores] = None
+        if accumulator is not None or adversary is not None:
             scores = estimator_rank(guesser, payload_id)
+        if accumulator is not None:
             accumulator.add(scores, source)
             if linker is not None:
                 linker.observe(source, scores)
+        return scores
 
     if proto.shared_session:
         session = proto.build(graph, conditions, seed=seed)
         if session_hook is not None:
             session_hook(session)
-        botnet = deploy_botnet(
-            graph, adversary_fraction, rng, protected=set(sources)
-        )
+        protected = set(sources)
+        if adversary is not None:
+            adversary.begin_session(session)
+            monitored = adversary.place(
+                graph, adversary_fraction, rng, protected
+            )
+        else:
+            monitored = deploy_botnet(
+                graph, adversary_fraction, rng, protected=protected
+            ).observers
         for index, source in enumerate(sources):
             payload_id = f"tx-{seed}-{index}"
             outcome = proto.broadcast(session, source, payload_id)
-            guesser = estimator_factory(session.simulator, botnet.observers)
-            attack(guesser, source, payload_id)
+            guesser = estimator_factory(session.simulator, monitored)
+            scores = attack(guesser, source, payload_id)
+            if adversary is not None:
+                updated = adversary.after_broadcast(
+                    payload_id, source, scores or {}, graph, protected
+                )
+                if updated is not None:
+                    monitored = updated
             message_counts.append(float(outcome.messages))
             reaches.append(outcome.delivered_fraction)
     else:
@@ -269,13 +301,24 @@ def run_attack_experiment(
             session = proto.build(graph, conditions, seed=run_seed)
             if session_hook is not None:
                 session_hook(session)
-            botnet = deploy_botnet(
-                graph, adversary_fraction, session.rng, protected={source}
-            )
+            protected = {source}
+            if adversary is not None:
+                adversary.begin_session(session)
+                monitored = adversary.place(
+                    graph, adversary_fraction, session.rng, protected
+                )
+            else:
+                monitored = deploy_botnet(
+                    graph, adversary_fraction, session.rng, protected=protected
+                ).observers
             payload_id = f"tx-{run_seed}"
             outcome = proto.broadcast(session, source, payload_id)
-            guesser = estimator_factory(session.simulator, botnet.observers)
-            attack(guesser, source, payload_id)
+            guesser = estimator_factory(session.simulator, monitored)
+            scores = attack(guesser, source, payload_id)
+            if adversary is not None:
+                adversary.after_broadcast(
+                    payload_id, source, scores or {}, graph, protected
+                )
             message_counts.append(float(outcome.messages))
             reaches.append(outcome.delivered_fraction)
 
@@ -299,6 +342,7 @@ def run_attack_experiment(
         estimator=estimator_name,
         mean_reach=sum(reaches) / len(reaches),
         privacy=privacy_report,
+        adversary_metrics=dict(adversary.metrics()) if adversary else {},
     )
 
 

@@ -17,6 +17,7 @@ reusable substrate.
 from repro.network.churn import (
     ChurnEvent,
     ChurnSchedule,
+    LinkEvent,
     random_churn_schedule,
 )
 from repro.network.conditions import NetworkConditions
@@ -49,6 +50,7 @@ from repro.network.topology import (
 __all__ = [
     "ChurnEvent",
     "ChurnSchedule",
+    "LinkEvent",
     "random_churn_schedule",
     "NetworkConditions",
     "Event",

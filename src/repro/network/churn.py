@@ -40,6 +40,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 LEAVE = "leave"
 REJOIN = "rejoin"
 
+#: Valid link-churn actions.
+SEVER = "sever"
+RESTORE = "restore"
+
 
 @dataclass(frozen=True)
 class ChurnEvent:
@@ -66,8 +70,43 @@ class ChurnEvent:
 
 
 @dataclass(frozen=True)
+class LinkEvent:
+    """One scheduled overlay-link change.
+
+    The link-level counterpart of :class:`ChurnEvent`: instead of a whole
+    node crashing, a single overlay link goes down (``"sever"``) or comes
+    back (``"restore"``).  Eclipse adversaries and flaky-link fault models
+    (:mod:`repro.threat`) are built from these.
+
+    Attributes:
+        time: simulated time at which the change happens.
+        a: one endpoint of the link.
+        b: the other endpoint.
+        action: ``"sever"`` or ``"restore"``.
+    """
+
+    time: float
+    a: Hashable
+    b: Hashable
+    action: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("link events cannot happen at negative times")
+        if self.action not in (SEVER, RESTORE):
+            raise ValueError(
+                f"unknown link action {self.action!r} "
+                f"(expected {SEVER!r} or {RESTORE!r})"
+            )
+
+
+@dataclass(frozen=True)
 class ChurnSchedule:
     """A deterministic sequence of churn events for one simulation.
+
+    Events may be node-level (:class:`ChurnEvent`) or link-level
+    (:class:`LinkEvent`); :meth:`apply` dispatches each to the matching
+    simulator primitive.
 
     Example:
         >>> schedule = ChurnSchedule((ChurnEvent(1.0, 3, "leave"),))
@@ -75,7 +114,7 @@ class ChurnSchedule:
         1
     """
 
-    events: Tuple[ChurnEvent, ...]
+    events: Tuple[object, ...]
 
     def __len__(self) -> int:
         return len(self.events)
@@ -97,7 +136,20 @@ class ChurnSchedule:
         now = simulator.now
         for event in self.events:
             delay = max(0.0, event.time - now)
-            if event.action == LEAVE:
+            if isinstance(event, LinkEvent):
+                if event.action == SEVER:
+                    simulator.schedule(
+                        delay,
+                        lambda a=event.a, b=event.b: simulator.sever_link(a, b),
+                    )
+                else:
+                    simulator.schedule(
+                        delay,
+                        lambda a=event.a, b=event.b: simulator.restore_link(
+                            a, b
+                        ),
+                    )
+            elif event.action == LEAVE:
                 simulator.schedule(
                     delay,
                     lambda node=event.node: simulator.fail_node(node),

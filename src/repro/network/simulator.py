@@ -122,6 +122,10 @@ class Simulator:
         # rebound), so the run loop can bind it once as a local — an empty
         # set makes every offline check a single falsy test.
         self._offline: set = set()
+        # Link failures: frozenset({a, b}) per severed overlay link.  Shared
+        # like ``_offline`` so the hot paths pay one falsy test while no
+        # link is down (the common case).
+        self._severed: set = set()
         self._churn_dropped = 0
         # Per-event fast path: the conditions object is frozen and the
         # latency model / store are fixed for the simulator's lifetime, so
@@ -171,10 +175,12 @@ class Simulator:
         cached = self._neighbour_cache.get(node_id)
         if cached is None:
             offline = self._offline
+            severed = self._severed
             cached = tuple(
                 peer
                 for peer in sorted(self.graph.neighbors(node_id), key=repr)
                 if peer not in offline
+                and (not severed or frozenset((node_id, peer)) not in severed)
             )
             self._neighbour_cache[node_id] = cached
         return cached
@@ -248,9 +254,49 @@ class Simulator:
         """The nodes currently offline."""
         return frozenset(self._offline)
 
+    # ------------------------------------------------------------------
+    # Link failures: severing and restoring individual overlay links
+    # ------------------------------------------------------------------
+    def sever_link(self, a: Hashable, b: Hashable) -> None:
+        """Take the overlay link between ``a`` and ``b`` down.
+
+        While severed the link carries nothing: overlay sends along it are
+        dropped (counted in :attr:`churn_dropped`, like node churn),
+        messages already in flight across it are dropped at delivery time,
+        and each endpoint disappears from the other's :meth:`neighbours_of`
+        tuple.  Both nodes stay online and all their other links keep
+        working — this is the eclipse/partition primitive, finer grained
+        than :meth:`fail_node`.  Direct (out-of-band) sends are unaffected,
+        matching their reliable-channel semantics.
+
+        Idempotent; severing a non-existent overlay edge raises
+        ``ValueError``.
+        """
+        if not self.graph.has_edge(a, b):
+            raise ValueError(f"no overlay edge between {a!r} and {b!r}")
+        link = frozenset((a, b))
+        if link in self._severed:
+            return
+        self._severed.add(link)
+        self.invalidate_topology_caches()
+
+    def restore_link(self, a: Hashable, b: Hashable) -> None:
+        """Bring a severed link back up (idempotent)."""
+        link = frozenset((a, b))
+        if link not in self._severed:
+            return
+        self._severed.discard(link)
+        self.invalidate_topology_caches()
+
+    @property
+    def severed_links(self) -> FrozenSet[FrozenSet[Hashable]]:
+        """The overlay links currently severed (as endpoint pairs)."""
+        return frozenset(self._severed)
+
     @property
     def churn_dropped(self) -> int:
-        """Transmissions dropped because an endpoint was offline."""
+        """Transmissions dropped because an endpoint was offline or the
+        overlay link between the endpoints was severed."""
         return self._churn_dropped
 
     # ------------------------------------------------------------------
@@ -299,6 +345,10 @@ class Simulator:
                 )
         offline = self._offline
         if offline and (sender in offline or receiver in offline):
+            self._churn_dropped += 1
+            return
+        severed = self._severed
+        if severed and not direct and frozenset((sender, receiver)) in severed:
             self._churn_dropped += 1
             return
         delay = self._delay(sender, receiver)
@@ -358,10 +408,11 @@ class Simulator:
         pop_item_until = queue.pop_item_until
         nodes = self._nodes
         record = self._record
-        # The offline set is mutated in place (never rebound), so this local
-        # stays current; while empty — the common case — each delivery pays
-        # only one falsy check for churn support.
+        # The offline/severed sets are mutated in place (never rebound), so
+        # these locals stay current; while empty — the common case — each
+        # delivery pays only one falsy check per set for churn support.
         offline = self._offline
+        severed = self._severed
         while True:
             if executed >= event_cap:
                 # Only counts as hitting the limit if something within the
@@ -382,6 +433,16 @@ class Simulator:
                 if offline and receiver in offline:
                     # In flight when the receiver went down: dropped, never
                     # observed — a crashed node records nothing.
+                    self._churn_dropped += 1
+                    executed += 1
+                    continue
+                if (
+                    severed
+                    and not direct
+                    and frozenset((sender, receiver)) in severed
+                ):
+                    # In flight when the link went down: the transmission
+                    # dies on the wire, exactly like node churn.
                     self._churn_dropped += 1
                     executed += 1
                     continue

@@ -35,6 +35,7 @@ from repro.scenarios.spec import (
     AdversarySpec,
     ChurnSpec,
     ConditionsSpec,
+    FaultSpec,
     PrivacySpec,
     ScenarioSpec,
     SeedPolicy,
@@ -61,6 +62,7 @@ __all__ = [
     "AdversarySpec",
     "ChurnSpec",
     "ConditionsSpec",
+    "FaultSpec",
     "PrivacySpec",
     "ScenarioSpec",
     "SeedPolicy",

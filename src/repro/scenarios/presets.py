@@ -12,6 +12,10 @@ families of presets:
 * ``stress_*`` — scenarios beyond the paper's evaluation: a lossy
   wide-area network, a hub-dominated scale-free overlay, node churn with
   and without rejoin, and a mixed multi-sender workload.
+* ``adv_*`` / ``fault_*`` — the active adversary models of
+  :mod:`repro.threat` (adaptive monitoring, eclipse, Byzantine DC-net
+  members driving the blame protocol) and the correlated fault models
+  (regional outage, flaky links); see ``docs/ADVERSARIES.md``.
 
 ``docs/SCENARIOS.md`` catalogues every preset with its intent and expected
 behaviour; ``scripts/scenario.py list`` prints this registry.
@@ -24,6 +28,7 @@ from repro.scenarios.spec import (
     AdversarySpec,
     ChurnSpec,
     ConditionsSpec,
+    FaultSpec,
     ScenarioSpec,
     SeedPolicy,
     TopologySpec,
@@ -314,6 +319,116 @@ STRESS_MIXED_SENDERS = register_scenario(ScenarioSpec(
     workload=WorkloadSpec(broadcasts=10, sender_pool=5),
     seeds=SeedPolicy(base_seed=11, repetitions=3),
     tags=("stress", "workload"),
+))
+
+# ---------------------------------------------------------------------------
+# Adversary-model presets (the active attackers of docs/ADVERSARIES.md)
+# ---------------------------------------------------------------------------
+
+#: The mixed-senders overlay, reused so the adversary presets compare
+#: apples-to-apples against ``stress_mixed_senders``.
+MIXED_OVERLAY = TopologySpec(
+    "small_world",
+    {"num_nodes": 150, "neighbours": 8,
+     "shortcut_probability": 0.1, "seed": 105},
+)
+
+ADV_ADAPTIVE_MIXED_SENDERS = register_scenario(ScenarioSpec(
+    name="adv_adaptive_mixed_senders",
+    description="Posterior-chasing adaptive attacker vs the wallet hosts",
+    topology=MIXED_OVERLAY,
+    conditions=IDEAL,
+    protocol="three_phase",
+    protocol_options={"group_size": 5, "diffusion_depth": 3},
+    adversary=AdversarySpec(fraction=0.2, model="adaptive"),
+    workload=WorkloadSpec(broadcasts=10, sender_pool=5),
+    seeds=SeedPolicy(base_seed=11, repetitions=3),
+    tags=("adversary", "adaptive"),
+))
+
+ADV_ECLIPSE_VICTIM = register_scenario(ScenarioSpec(
+    name="adv_eclipse_victim",
+    description="Victim node 3 permanently eclipsed from the overlay",
+    topology=MIXED_OVERLAY,
+    conditions=INTERNET,
+    protocol="flood",
+    adversary=AdversarySpec(
+        fraction=0.2,
+        model="eclipse",
+        model_params={"victim": 3, "start": 0.0},
+    ),
+    workload=WorkloadSpec(broadcasts=8),
+    seeds=SeedPolicy(base_seed=14, repetitions=2),
+    tags=("adversary", "eclipse"),
+))
+
+ADV_BYZANTINE_BLAME_EXPEL = register_scenario(ScenarioSpec(
+    name="adv_byzantine_blame_expel",
+    description="Byzantine member flips shares; blame attributes, group expels",
+    topology=MIXED_OVERLAY,
+    conditions=IDEAL,
+    protocol="three_phase",
+    protocol_options={"group_size": 5, "diffusion_depth": 3},
+    adversary=AdversarySpec(
+        fraction=0.2,
+        model="byzantine_dcnet",
+        model_params={"tamper": "flip", "policy": "expel"},
+    ),
+    workload=WorkloadSpec(broadcasts=10, sender_pool=5),
+    seeds=SeedPolicy(base_seed=11, repetitions=2),
+    tags=("adversary", "byzantine"),
+))
+
+ADV_BYZANTINE_BLAME_DISSOLVE = register_scenario(ScenarioSpec(
+    name="adv_byzantine_blame_dissolve",
+    description="Byzantine member withholds shares; unattributable, group dissolves",
+    topology=MIXED_OVERLAY,
+    conditions=IDEAL,
+    protocol="three_phase",
+    protocol_options={"group_size": 5, "diffusion_depth": 3},
+    adversary=AdversarySpec(
+        fraction=0.2,
+        model="byzantine_dcnet",
+        model_params={"tamper": "withhold", "policy": "dissolve"},
+    ),
+    workload=WorkloadSpec(broadcasts=10, sender_pool=5),
+    seeds=SeedPolicy(base_seed=11, repetitions=2),
+    tags=("adversary", "byzantine"),
+))
+
+# ---------------------------------------------------------------------------
+# Correlated-fault presets (beyond independent churn)
+# ---------------------------------------------------------------------------
+
+FAULT_REGIONAL_OUTAGE = register_scenario(ScenarioSpec(
+    name="fault_regional_outage",
+    description="A one-hop region around node 7 crashes together, then recovers",
+    topology=MIXED_OVERLAY,
+    conditions=INTERNET,
+    protocol="flood",
+    adversary=AdversarySpec(fraction=0.1),
+    workload=WorkloadSpec(broadcasts=8),
+    seeds=SeedPolicy(base_seed=15, repetitions=2),
+    faults=(FaultSpec("regional_outage", {
+        "epicenter": 7, "radius": 1, "start": 0.25, "duration": 1.5,
+    }),),
+    tags=("fault", "outage"),
+))
+
+FAULT_FLAKY_LINKS = register_scenario(ScenarioSpec(
+    name="fault_flaky_links",
+    description="Bursts of link flapping: eight links sever and restore twice",
+    topology=MIXED_OVERLAY,
+    conditions=INTERNET,
+    protocol="flood",
+    adversary=AdversarySpec(fraction=0.1),
+    workload=WorkloadSpec(broadcasts=8),
+    seeds=SeedPolicy(base_seed=16, repetitions=2),
+    faults=(FaultSpec("flaky_links", {
+        "links": 8, "bursts": 2, "start": 0.1,
+        "period": 0.5, "down_time": 0.25,
+    }),),
+    tags=("fault", "links"),
 ))
 
 # ---------------------------------------------------------------------------

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -70,14 +71,33 @@ class CompiledScenario:
     session_hook: Optional[Callable[[ProtocolSession], None]] = None
 
 
+#: Seed-stream offset separating fault-model randomness from churn's
+#: (``ChurnSpec.seed_offset`` default 0xC4A2) and the run seed itself.
+FAULT_SEED_OFFSET = 0xFA07
+
+
 def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
     """Resolve ``spec`` into overlay, conditions, protocol and hooks."""
     churn = spec.churn
+    faults = spec.faults
     hook: Optional[Callable[[ProtocolSession], None]] = None
-    if churn is not None and (churn.leave_fraction > 0 or churn.events):
+    wants_churn = churn is not None and (
+        churn.leave_fraction > 0 or churn.events
+    )
+    if wants_churn or faults:
         def hook(session: ProtocolSession) -> None:
-            schedule = churn.compile(session.graph, session.seed or 0)
-            schedule.apply(session.simulator)
+            run_seed = session.seed or 0
+            if wants_churn:
+                churn.compile(session.graph, run_seed).apply(
+                    session.simulator
+                )
+            # Each fault draws from its own deterministic stream, so adding
+            # a fault never perturbs churn (or another fault's) sampling.
+            for index, fault in enumerate(faults):
+                rng = random.Random(run_seed + FAULT_SEED_OFFSET + index)
+                fault.build().schedule(session.graph, rng).apply(
+                    session.simulator
+                )
 
     return CompiledScenario(
         spec=spec,
@@ -115,6 +135,9 @@ def run_scenario_once(
         sender_pool=spec.workload.sender_pool,
         session_hook=compiled.session_hook,
         privacy=privacy if privacy is not None else False,
+        # A fresh model per run: models are stateful across broadcasts
+        # (suspicion mass, expelled members), never across runs.
+        adversary=spec.adversary.build(),
     )
 
 
@@ -163,6 +186,11 @@ def experiment_metrics(result: ExperimentResult) -> Dict[str, float]:
     }
     if result.privacy is not None:
         metrics.update(result.privacy.to_metrics())
+    # Active adversary models report their own counters (repositionings,
+    # blame verdicts, severed links).  The static attacker reports none,
+    # keeping every pre-existing run digest unchanged.
+    for key, value in result.adversary_metrics.items():
+        metrics[f"adversary_{key}"] = float(value)
     return metrics
 
 

@@ -135,18 +135,84 @@ class ConditionsSpec:
 
 @dataclass(frozen=True)
 class AdversarySpec:
-    """The observer coalition and its source estimator.
+    """The observer coalition, its source estimator and its behaviour model.
 
     ``fraction=0.0`` means no adversary (pure dissemination scenarios, e.g.
     the message-overhead benchmarks); the estimator then always abstains.
+
+    ``model`` names an :class:`~repro.threat.base.AdversaryModel` from the
+    :mod:`repro.threat` registry (``"static"``, ``"adaptive"``,
+    ``"eclipse"``, ``"byzantine_dcnet"``, ...), configured through the
+    flat, JSON-serializable ``model_params``.  The default ``"static"``
+    with empty params is the historical uniform botnet and is omitted from
+    the serialized form, so pre-existing spec digests stay valid.
+
+    Both the estimator and the model are validated at construction time:
+    unknown names raise ``KeyError`` listing the registered alternatives,
+    so a typo in a scenario file fails before anything runs.
     """
 
     fraction: float = 0.2
     estimator: str = "first_spy"
+    model: str = "static"
+    model_params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.fraction < 1.0:
             raise ValueError("adversary fraction must be in [0, 1)")
+        # Late imports: the registries live above the scenario layer.
+        from repro.analysis.experiment import ESTIMATORS
+        from repro.threat import create_adversary_model
+
+        if self.estimator not in ESTIMATORS:
+            known = ", ".join(sorted(ESTIMATORS))
+            raise KeyError(
+                f"unknown estimator {self.estimator!r} (registered: {known})"
+            )
+        object.__setattr__(self, "model_params", dict(self.model_params))
+        # Raises KeyError for an unknown model name (registered names
+        # listed) and TypeError for params the model does not accept.
+        create_adversary_model(self.model, self.model_params)
+
+    def build(self):
+        """A fresh model instance for one run (``None`` for the static one).
+
+        Models are stateful across a run's broadcasts, so every run gets
+        its own instance; the static default returns ``None`` to keep the
+        experiment loop on its historical code path.
+        """
+        if self.model == "static" and not self.model_params:
+            return None
+        from repro.threat import create_adversary_model
+
+        return create_adversary_model(self.model, self.model_params)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One named correlated-fault model and its parameters.
+
+    ``model`` names a :class:`~repro.threat.base.FaultModel` from the
+    :mod:`repro.threat` registry (``"regional_outage"``,
+    ``"flaky_links"``); unknown names raise ``KeyError`` listing the
+    registered alternatives at construction time.  Each fault compiles
+    into a deterministic churn schedule per session from the run seed.
+    """
+
+    model: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        from repro.threat import create_fault_model
+
+        object.__setattr__(self, "params", dict(self.params))
+        create_fault_model(self.model, self.params)
+
+    def build(self):
+        """A fresh fault-model instance."""
+        from repro.threat import create_fault_model
+
+        return create_fault_model(self.model, self.params)
 
 
 @dataclass(frozen=True)
@@ -284,10 +350,11 @@ class ScenarioSpec:
         protocol: a protocol name from :mod:`repro.protocols`.
         protocol_options: keyword options for the protocol's config (e.g.
             ``{"group_size": 5, "diffusion_depth": 3}`` for ``three_phase``).
-        adversary: observer fraction and estimator.
+        adversary: observer fraction, estimator and behaviour model.
         workload: broadcast count and sender pool.
         seeds: master seed and repetition fan-out.
         churn: optional failure/rejoin schedule.
+        faults: correlated fault models applied to every session.
         privacy: which anonymity metrics the run reports.
         description: one line for catalogues and the CLI.
         tags: free-form labels (``"paper"``, ``"stress"``, ...).
@@ -302,6 +369,7 @@ class ScenarioSpec:
     workload: WorkloadSpec = WorkloadSpec()
     seeds: SeedPolicy = SeedPolicy()
     churn: Optional[ChurnSpec] = None
+    faults: Tuple[FaultSpec, ...] = ()
     privacy: PrivacySpec = PrivacySpec()
     description: str = ""
     tags: Tuple[str, ...] = ()
@@ -309,6 +377,8 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a scenario needs a non-empty name")
+        # JSON round-trips deliver lists; store the canonical tuple.
+        object.__setattr__(self, "faults", tuple(self.faults))
 
     # ------------------------------------------------------------------
     # Derivation
@@ -326,12 +396,32 @@ class ScenarioSpec:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """A JSON-ready dictionary representation."""
+        """A JSON-ready dictionary representation.
+
+        Fields that post-date the digest goldens — the adversary's
+        behaviour model and the fault list — are omitted at their default
+        values, so every spec (and run digest) from before they existed
+        serializes byte-for-byte as it always did.
+        """
         data = asdict(self)
         data["topology"]["params"] = dict(self.topology.params)
         data["protocol_options"] = dict(self.protocol_options)
         data["tags"] = list(self.tags)
         data["privacy"]["top_k"] = list(self.privacy.top_k)
+        if self.adversary.model == "static" and not self.adversary.model_params:
+            del data["adversary"]["model"]
+            del data["adversary"]["model_params"]
+        else:
+            data["adversary"]["model_params"] = dict(
+                self.adversary.model_params
+            )
+        if self.faults:
+            data["faults"] = [
+                {"model": fault.model, "params": dict(fault.params)}
+                for fault in self.faults
+            ]
+        else:
+            del data["faults"]
         if self.churn is not None:
             data["churn"]["events"] = [
                 [event.time, event.node, event.action]
@@ -372,6 +462,12 @@ class ScenarioSpec:
             workload=WorkloadSpec(**data.get("workload", {})),
             seeds=SeedPolicy(**data.get("seeds", {})),
             churn=churn,
+            faults=tuple(
+                FaultSpec(
+                    model=fault["model"], params=dict(fault.get("params", {}))
+                )
+                for fault in data.get("faults", ())
+            ),
             privacy=PrivacySpec(**data.get("privacy", {})),
             description=data.get("description", ""),
             tags=tuple(data.get("tags", ())),

@@ -108,3 +108,49 @@ class TestCli:
     def test_unknown_scenario_fails(self):
         proc = _run("run", "does_not_exist")
         assert proc.returncode != 0
+
+    def test_run_adversary_model_override(self, tmp_path):
+        out = tmp_path / "adaptive.json"
+        proc = _run(
+            "run", "stress_mixed_senders",
+            "--repetitions", "1", "--adversary-model", "adaptive",
+            "--json-out", str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        document = json.loads(out.read_text())
+        assert document["spec"]["adversary"]["model"] == "adaptive"
+        assert "adversary_adaptive_enabled" in document["runs"][0]
+
+    def test_list_shows_model_and_fault_extras(self):
+        proc = _run("list", "--tag", "adversary")
+        assert proc.returncode == 0
+        assert "model=adaptive" in proc.stdout
+        proc = _run("list", "--tag", "fault")
+        assert proc.returncode == 0
+        assert "fault=regional_outage" in proc.stdout
+
+    def test_unknown_adversary_model_lists_registered_names(self):
+        proc = _run(
+            "run", "e4_broadcast_deanonymization",
+            "--adversary-model", "quantum",
+        )
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        assert "quantum" in proc.stderr
+        for name in ("static", "adaptive", "eclipse", "byzantine_dcnet"):
+            assert name in proc.stderr
+
+    def test_unknown_estimator_in_spec_file_lists_registered_names(
+        self, tmp_path
+    ):
+        spec = json.loads(
+            _run("describe", "e4_broadcast_deanonymization").stdout
+        )
+        spec["adversary"]["estimator"] = "crystal_ball"
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        proc = _run("run", "--spec-file", str(spec_path))
+        assert proc.returncode == 2
+        assert "Traceback" not in proc.stderr
+        assert "crystal_ball" in proc.stderr
+        assert "first_spy" in proc.stderr

@@ -76,7 +76,29 @@ GOLDEN_OBSERVATION_DIGESTS = {
         "2b6f79790b71652535ecf1ccc64c8dba0a97a1cee24464dc5417fbef299b9eb2",
     "stress_mixed_senders":
         "c716c2226f20e2bb034c1a7915648e383ac5c93a1ffcc19342de1cf30682c6d7",
+    "adv_adaptive_mixed_senders":
+        "7c4f7e7ea74259de63b519899b9a2a4eca4d77bff75d9f791eea11ea889721ac",
+    "adv_byzantine_blame_dissolve":
+        "be64da60ab900b5da1528f5ce4f5bf54020833d5bd8454bf1cc6f4c914f75191",
+    "adv_byzantine_blame_expel":
+        "5dd81cfc37dca87ffea675edc3cd5b9a2547a6d6b03abb9a8b49cd40bbfce1df",
+    "adv_eclipse_victim":
+        "c503975ad0650c479a3fa6ee2a5800690d08630571a8a5134e114dd07786d9be",
+    "fault_flaky_links":
+        "7f7c4166dcf4a958cb6d56ca47fca85983712e1109fcfc08f7db68d8b852aac0",
+    "fault_regional_outage":
+        "c87402a936da9d87b4ef49bdc64e7612aefa892b57c5e49b9c6c579d53f832c4",
 }
+
+#: Presets whose full CLI runs are committed under benchmarks/results/.
+COMMITTED_TAGS = ("stress", "adversary", "fault")
+
+
+def committed_preset_names():
+    names = set()
+    for tag in COMMITTED_TAGS:
+        names.update(available_scenarios(tag=tag))
+    return sorted(names)
 
 
 def test_every_registered_preset_has_a_golden_digest():
@@ -99,9 +121,7 @@ def test_preset_observation_log_unchanged(name):
 class TestCommittedStressResults:
     """The committed CLI results reproduce run digest for run digest."""
 
-    @pytest.mark.parametrize(
-        "name", sorted(available_scenarios(tag="stress"))
-    )
+    @pytest.mark.parametrize("name", committed_preset_names())
     def test_committed_result_reproduces(self, name):
         path = RESULTS_DIR / f"SCENARIO_{name}.json"
         assert path.exists(), (
@@ -121,3 +141,50 @@ class TestCommittedStressResults:
                 (RESULTS_DIR / f"SCENARIO_{name}.json").read_text()
             )
             assert committed["aggregate"]["mean_reach"] < 0.95
+
+    def test_adaptive_attacker_lowers_entropy_vs_static(self):
+        # The point of the adaptive model: acting on the posteriors must
+        # make the attacker measurably *more certain* than the static
+        # first-spy botnet on the identical workload (same overlay, seeds,
+        # wallet-host sender pool).  Pinned on the committed aggregates so
+        # any strategy or estimator drift that erases the advantage fails
+        # here.
+        adaptive = json.loads(
+            (RESULTS_DIR / "SCENARIO_adv_adaptive_mixed_senders.json")
+            .read_text()
+        )["aggregate"]
+        static = json.loads(
+            (RESULTS_DIR / "SCENARIO_stress_mixed_senders.json").read_text()
+        )["aggregate"]
+        assert (
+            adaptive["privacy_entropy"] < static["privacy_entropy"] - 0.25
+        )
+        assert adaptive["adversary_adaptive_repositions"] > 0
+
+    def test_blame_presets_reach_both_policies(self):
+        # dcnet/blame.py end-to-end from registered presets: the flip
+        # tamper is attributable (every round blames exactly the disruptor,
+        # the expel policy removes it), the withhold tamper is not (every
+        # round ends in a dissolve recommendation).
+        expel = json.loads(
+            (RESULTS_DIR / "SCENARIO_adv_byzantine_blame_expel.json")
+            .read_text()
+        )["aggregate"]
+        assert expel["adversary_blame_rounds"] > 0
+        assert (
+            expel["adversary_blame_correct_attributions"]
+            == expel["adversary_blame_rounds"]
+        )
+        assert expel["adversary_blame_expelled"] > 0
+        assert expel["adversary_blame_dissolved"] == 0
+
+        dissolve = json.loads(
+            (RESULTS_DIR / "SCENARIO_adv_byzantine_blame_dissolve.json")
+            .read_text()
+        )["aggregate"]
+        assert dissolve["adversary_blame_rounds"] > 0
+        assert (
+            dissolve["adversary_blame_dissolved"]
+            == dissolve["adversary_blame_rounds"]
+        )
+        assert dissolve["adversary_blame_blamed_total"] == 0
