@@ -50,6 +50,8 @@ __all__ = [
     "compare_reports",
     "dcnet_round_scenario",
     "flood_scenario",
+    "gossip_scenario",
+    "memory_gate",
     "peak_rss_kib",
     "run_scenario",
     "run_suite",
@@ -68,6 +70,13 @@ class Scenario:
         run: executes the measured workload on the context and returns the
             number of simulated events it processed.
         smoke: whether the scenario is part of the quick ``--smoke`` set.
+        memory_budget_mib: peak-RSS ceiling for this scenario in MiB, or
+            ``None`` for no budget.  ``ru_maxrss`` is a process-lifetime
+            high-water mark, so the budget must cover everything that ran
+            in the process *before* this scenario too — the tracked suite
+            orders scenarios by ascending footprint to keep the bound
+            meaningful, and the scale tiers carry budgets sized to their
+            own footprint plus that headroom.
     """
 
     name: str
@@ -75,6 +84,7 @@ class Scenario:
     setup: Callable[[], Any]
     run: Callable[[Any], int]
     smoke: bool = False
+    memory_budget_mib: Optional[float] = None
 
 
 def flood_scenario(
@@ -84,11 +94,16 @@ def flood_scenario(
     overlay_seed: int = 9,
     run_seed: int = 0,
     smoke: bool = False,
+    engine: str = "event",
+    memory_budget_mib: Optional[float] = None,
 ) -> Scenario:
     """Flood-and-prune broadcast on a ``size``-node random-regular overlay.
 
     Events are the deliveries the engine performed (the observation log
     length), i.e. exactly the per-event work of ``Simulator.run``.
+    ``engine`` selects the simulator's delivery engine — both produce
+    identical logs, so the event counts of an ``"event"`` and a
+    ``"batched"`` tier of the same size are directly comparable.
     """
 
     def setup() -> Any:
@@ -99,16 +114,63 @@ def flood_scenario(
     def run(overlay: Any) -> int:
         from repro.broadcast.flood import run_flood
 
-        result = run_flood(overlay, source=0, seed=run_seed)
+        result = run_flood(overlay, source=0, seed=run_seed, engine=engine)
         return len(result.simulator.store)
 
     return Scenario(
         name=name,
         description=f"E11 flood-and-prune broadcast, {size:,} peers "
-        f"(degree {degree})",
+        f"(degree {degree}, {engine} engine)",
         setup=setup,
         run=run,
         smoke=smoke,
+        memory_budget_mib=memory_budget_mib,
+    )
+
+
+def gossip_scenario(
+    name: str,
+    size: int,
+    fanout: int = 4,
+    degree: int = 8,
+    overlay_seed: int = 9,
+    run_seed: int = 0,
+    smoke: bool = False,
+    engine: str = "event",
+    memory_budget_mib: Optional[float] = None,
+) -> Scenario:
+    """Probabilistic gossip broadcast on a ``size``-node overlay.
+
+    The gossip fan-out draws from the protocol RNG per fresh node, so this
+    tier exercises the batched engine's per-node sampling path (the part a
+    pure flood never touches) at scale.
+    """
+
+    def setup() -> Any:
+        from repro.network.topology import random_regular_overlay
+
+        return random_regular_overlay(size, degree=degree, seed=overlay_seed)
+
+    def run(overlay: Any) -> int:
+        from repro.broadcast.gossip import GossipConfig, run_gossip
+
+        result = run_gossip(
+            overlay,
+            source=0,
+            config=GossipConfig(fanout=fanout),
+            seed=run_seed,
+            engine=engine,
+        )
+        return len(result.simulator.store)
+
+    return Scenario(
+        name=name,
+        description=f"E11 gossip broadcast, {size:,} peers "
+        f"(fanout {fanout}, {engine} engine)",
+        setup=setup,
+        run=run,
+        smoke=smoke,
+        memory_budget_mib=memory_budget_mib,
     )
 
 
@@ -309,7 +371,9 @@ def byzantine_blame_scenario(
     )
 
 
-#: The tracked scenario suite.  ``--smoke`` runs the marked subset.
+#: The tracked scenario suite.  ``--smoke`` runs the marked subset.  Kept
+#: in ascending memory-footprint order so the process-lifetime ``ru_maxrss``
+#: bound stays tight for the budgeted scale tiers at the end.
 SCENARIOS: Dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -317,9 +381,30 @@ SCENARIOS: Dict[str, Scenario] = {
         flood_scenario("e1_flood_1000", size=1000, smoke=True),
         flood_scenario("e11_flood_2000", size=2000, smoke=True),
         flood_scenario("e11_flood_5000", size=5000),
+        flood_scenario("e11_flood_5000_batched", size=5000, engine="batched"),
         attack_privacy_scenario("e13_attack_privacy_200", smoke=True),
         adaptive_attack_scenario("e14_adaptive_attack_150", smoke=True),
         byzantine_blame_scenario("e14_byzantine_blame_100", smoke=True),
+        # Scale tiers: only tractable on the batched engine (the event loop
+        # needs minutes at 50k+), so only batched variants are tracked.
+        gossip_scenario(
+            "e11_gossip_50000_batched",
+            size=50_000,
+            engine="batched",
+            memory_budget_mib=1024.0,
+        ),
+        flood_scenario(
+            "e11_flood_50000_batched",
+            size=50_000,
+            engine="batched",
+            memory_budget_mib=1024.0,
+        ),
+        flood_scenario(
+            "e11_flood_100000_batched",
+            size=100_000,
+            engine="batched",
+            memory_budget_mib=2048.0,
+        ),
     )
 }
 
@@ -398,7 +483,7 @@ def run_scenario(
             )
     assert events is not None
     median_seconds = statistics.median(seconds)
-    return {
+    result = {
         "description": scenario.description,
         "repeats": repeats,
         "warmup": warmup,
@@ -408,6 +493,9 @@ def run_scenario(
         "events_per_second": events / median_seconds,
         "peak_rss_kib": peak_rss_kib(),
     }
+    if scenario.memory_budget_mib is not None:
+        result["memory_budget_mib"] = scenario.memory_budget_mib
+    return result
 
 
 def run_suite(
@@ -443,6 +531,35 @@ def run_suite(
         for name in names
     }
     return {"meta": report_meta, "results": results}
+
+
+def memory_gate(report: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Check every budgeted scenario of a report against its budget.
+
+    Budgets travel inside the report (``memory_budget_mib`` per result, set
+    by the scenario definition at measurement time), so the gate needs no
+    baseline: it is a property of the current run alone.  Scenarios without
+    a budget are not listed.
+
+    Returns one entry per budgeted scenario::
+
+        {"name", "status" ("ok"|"over"), "peak_rss_mib", "budget_mib"}
+    """
+    entries: List[Dict[str, Any]] = []
+    for name, result in report["results"].items():
+        budget = result.get("memory_budget_mib")
+        if budget is None:
+            continue
+        peak_mib = result["peak_rss_kib"] / 1024.0
+        entries.append(
+            {
+                "name": name,
+                "status": "over" if peak_mib > budget else "ok",
+                "peak_rss_mib": peak_mib,
+                "budget_mib": float(budget),
+            }
+        )
+    return entries
 
 
 def compare_reports(

@@ -5,7 +5,9 @@ The perf trajectory of this repository lives in ``benchmarks/results/``:
 every engine-relevant change runs this script, which times the E-series hot
 paths through ``benchmarks/harness.py``, writes ``BENCH_<label>.json`` and
 compares the numbers against a baseline report, failing (exit code 1) when
-any scenario's calibrated events/sec regressed beyond the threshold.
+any scenario's calibrated events/sec regressed beyond the threshold or a
+scale tier's peak RSS exceeded its scenario-declared memory budget (the
+memory gate needs no baseline and also fails under ``--no-compare``).
 
 Typical uses::
 
@@ -213,14 +215,33 @@ def main(argv: Optional[list] = None) -> int:
               if output_path.is_relative_to(Path.cwd())
               else f"# wrote {output_path}")
 
+    # The memory-budget gate is baseline-free: budgets travel inside the
+    # report, so it runs (and can fail the invocation) even under
+    # --no-compare or when no baseline report exists yet.
+    memory_failed = False
+    memory_entries = harness.memory_gate(report)
+    if memory_entries:
+        print("# memory budgets:")
+        for entry in memory_entries:
+            marker = "!" if entry["status"] == "over" else " "
+            print(
+                f"{entry['name']:24s} {marker} "
+                f"{entry['peak_rss_mib']:8,.0f} MiB peak rss "
+                f"(budget {entry['budget_mib']:,.0f} MiB)"
+            )
+            if entry["status"] == "over":
+                memory_failed = True
+    if memory_failed:
+        print("# FAIL: peak RSS above the scenario memory budget")
+
     if args.no_compare:
-        return 0
+        return 1 if memory_failed else 0
     baseline_path = args.baseline
     if baseline_path is None:
         baseline_path = _latest_report(args.output_dir, exclude=output_path)
         if baseline_path is None:
             print("# no baseline report found; comparison skipped")
-            return 0
+            return 1 if memory_failed else 0
     with open(baseline_path) as handle:
         baseline = json.load(handle)
     print(f"# baseline: {baseline_path}")
@@ -250,6 +271,8 @@ def main(argv: Optional[list] = None) -> int:
             f"# FAIL: regression beyond {args.max_regression:.0%} "
             "of calibrated events/sec"
         )
+        return 1
+    if memory_failed:
         return 1
     print("# OK: no scenario regressed beyond the threshold")
     return 0

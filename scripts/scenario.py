@@ -133,6 +133,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     spec.adversary, model=args.adversary_model
                 )
             )
+        if args.engine is not None:
+            spec = spec.derive(engine=args.engine)
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
@@ -216,6 +218,12 @@ def main(argv: Optional[list] = None) -> int:
         "--adversary-model", default=None,
         help="override the spec's adversary behaviour model "
              "(see `repro.threat`; e.g. adaptive, eclipse, byzantine_dcnet)",
+    )
+    run_parser.add_argument(
+        "--engine", default=None,
+        help="override the spec's simulator engine ('event' or 'batched'; "
+             "both are seed-for-seed identical, 'batched' is faster at "
+             "scale)",
     )
     run_parser.add_argument(
         "--no-privacy", action="store_true",

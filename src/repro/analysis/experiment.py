@@ -168,6 +168,7 @@ def run_attack_experiment(
     session_hook: Optional[Callable[[object], None]] = None,
     privacy: Union[bool, PrivacyConfig] = True,
     adversary: Optional[AdversaryModel] = None,
+    engine: str = "event",
 ) -> ExperimentResult:
     """Run the deanonymisation experiment against one registered protocol.
 
@@ -209,6 +210,10 @@ def run_attack_experiment(
             path untouched.  A model's default ``place()`` consumes
             exactly the static deployment's RNG draws, so models that do
             not adapt stay seed-for-seed identical to ``adversary=None``.
+        engine: simulator delivery engine for every session
+            (see :data:`repro.network.simulator.ENGINES`).  Both engines
+            are seed-for-seed identical in every observable, so this only
+            affects wall-clock performance.
 
     Session handling follows the protocol's declaration: a
     ``shared_session`` protocol (three-phase) builds one session for all
@@ -269,7 +274,7 @@ def run_attack_experiment(
         return scores
 
     if proto.shared_session:
-        session = proto.build(graph, conditions, seed=seed)
+        session = proto.build(graph, conditions, seed=seed, engine=engine)
         if session_hook is not None:
             session_hook(session)
         protected = set(sources)
@@ -298,7 +303,9 @@ def run_attack_experiment(
     else:
         for index, source in enumerate(sources):
             run_seed = seed * 1000 + index
-            session = proto.build(graph, conditions, seed=run_seed)
+            session = proto.build(
+                graph, conditions, seed=run_seed, engine=engine
+            )
             if session_hook is not None:
                 session_hook(session)
             protected = {source}

@@ -13,7 +13,9 @@ from dataclasses import dataclass
 from typing import Hashable, Optional, Set
 
 import networkx as nx
+import numpy as np
 
+from repro.network.batched import CohortKernel
 from repro.network.latency import ConstantLatency, LatencyModel
 from repro.network.message import Message
 from repro.network.node import Node
@@ -72,6 +74,78 @@ class FloodNode(Node):
                 )
 
 
+class FloodCohortKernel(CohortKernel):
+    """Vectorised flood-and-prune cohorts for the batched engine.
+
+    The fan-out is the CSR form of :meth:`FloodNode._forward`: every
+    neighbour except the delivering sender, with offline nodes and severed
+    links masked out exactly as ``neighbours_of`` excludes them.  One
+    :class:`~repro.network.message.Message` is shared across a node's
+    forwards (the event engine allocates one per forward); uid order still
+    equals log order among equal-time deliveries, and digests exclude uids,
+    so every observable — including first-spy tie-breaking — is identical.
+    """
+
+    node_type = FloodNode
+    kind = FloodNode.MESSAGE_KIND
+
+    def _node_has_seen(self, node: FloodNode, payload_id: Hashable) -> bool:
+        return payload_id in node._seen
+
+    def _mark_node_seen(self, node: FloodNode, payload_id: Hashable) -> None:
+        node._seen.add(payload_id)
+
+    def _fan_out(
+        self,
+        time: float,
+        fresh_receivers: np.ndarray,
+        fresh_exclude: np.ndarray,
+        payload_id: Hashable,
+    ) -> None:
+        topology = self._topology
+        indptr = topology.indptr
+        starts = indptr[fresh_receivers]
+        counts = indptr[fresh_receivers + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return
+        # Flat CSR positions of every (forwarder, neighbour) pair: repeat
+        # each row start, then add a per-row 0..degree-1 ramp.
+        offsets = np.arange(total) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        flat = np.repeat(starts, counts) + offsets
+        targets = topology.indices[flat]
+        senders = np.repeat(fresh_receivers, counts)
+        keep = targets != np.repeat(fresh_exclude, counts)
+        if self._has_churn:
+            keep &= self._online[targets]
+            keep &= self._edge_ok[flat]
+
+        nodes = self.simulator._nodes
+        ids = topology.ids
+        fresh_count = len(fresh_receivers)
+        node_messages = np.empty(fresh_count, dtype=object)
+        node_sizes = np.empty(fresh_count, dtype=np.int64)
+        for i, r in enumerate(fresh_receivers.tolist()):
+            size = nodes[ids[r]].payload_size_bytes
+            node_sizes[i] = size
+            node_messages[i] = Message(
+                kind=self.kind, payload_id=payload_id, size_bytes=size
+            )
+        self._emit(
+            time,
+            senders[keep],
+            targets[keep],
+            np.repeat(node_messages, counts)[keep],
+            np.repeat(node_sizes, counts)[keep],
+            payload_id,
+        )
+
+
+FloodNode.COHORT_KERNEL = FloodCohortKernel
+
+
 @dataclass
 class FloodRunResult:
     """Outcome of a standalone flood-and-prune run."""
@@ -88,9 +162,15 @@ def run_flood(
     payload_id: Hashable = "tx",
     seed: Optional[int] = None,
     latency: Optional[LatencyModel] = None,
+    engine: str = "event",
 ) -> FloodRunResult:
     """Broadcast one payload with flood-and-prune and report the cost."""
-    simulator = Simulator(graph, latency=latency or ConstantLatency(0.1), seed=seed)
+    simulator = Simulator(
+        graph,
+        latency=latency or ConstantLatency(0.1),
+        seed=seed,
+        engine=engine,
+    )
     simulator.populate(FloodNode)
     origin = simulator.node(source)
     assert isinstance(origin, FloodNode)

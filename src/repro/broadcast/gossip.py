@@ -10,10 +10,12 @@ protocol, but a standard point of comparison for dissemination cost).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Optional, Set
+from typing import Hashable, List, Optional, Set
 
 import networkx as nx
+import numpy as np
 
+from repro.network.batched import CohortKernel
 from repro.network.latency import ConstantLatency, LatencyModel
 from repro.network.message import Message
 from repro.network.node import Node
@@ -78,6 +80,89 @@ class GossipNode(Node):
             )
 
 
+class GossipCohortKernel(CohortKernel):
+    """Gossip cohorts for the batched engine.
+
+    Deliveries, records and churn filtering are fully vectorised; the
+    fan-out itself stays per fresh node because it must reproduce
+    :meth:`GossipNode._forward` exactly — the same candidate list (CSR rows
+    are already in ``neighbours_of`` order, minus offline peers, severed
+    links and the delivering sender) fed to ``simulator.rng.sample`` in the
+    same processing order, so the protocol RNG stream is draw-for-draw
+    identical to the event engine's.
+    """
+
+    node_type = GossipNode
+    kind = GossipNode.MESSAGE_KIND
+
+    def _node_has_seen(self, node: GossipNode, payload_id: Hashable) -> bool:
+        return payload_id in node._seen
+
+    def _mark_node_seen(self, node: GossipNode, payload_id: Hashable) -> None:
+        node._seen.add(payload_id)
+
+    def _fan_out(
+        self,
+        time: float,
+        fresh_receivers: np.ndarray,
+        fresh_exclude: np.ndarray,
+        payload_id: Hashable,
+    ) -> None:
+        topology = self._topology
+        indptr = topology.indptr
+        indices = topology.indices
+        ids = topology.ids
+        index = topology.index
+        simulator = self.simulator
+        rng = simulator.rng
+        nodes = simulator._nodes
+        has_churn = self._has_churn
+        online = self._online
+        edge_ok = self._edge_ok
+        send_list: List[int] = []
+        target_list: List[int] = []
+        message_list: List[Message] = []
+        size_list: List[int] = []
+        for r, excluded in zip(
+            fresh_receivers.tolist(), fresh_exclude.tolist()
+        ):
+            lo = indptr[r]
+            hi = indptr[r + 1]
+            row = indices[lo:hi]
+            if has_churn:
+                row = row[online[row] & edge_ok[lo:hi]]
+            candidates = [ids[j] for j in row.tolist() if j != excluded]
+            if not candidates:
+                continue
+            config = nodes[ids[r]].config
+            count = min(config.fanout, len(candidates))
+            message = Message(
+                kind=self.kind,
+                payload_id=payload_id,
+                size_bytes=config.payload_size_bytes,
+            )
+            for peer in rng.sample(candidates, count):
+                send_list.append(r)
+                target_list.append(index[peer])
+                message_list.append(message)
+                size_list.append(config.payload_size_bytes)
+        if not target_list:
+            return
+        messages = np.empty(len(message_list), dtype=object)
+        messages[:] = message_list
+        self._emit(
+            time,
+            np.asarray(send_list, dtype=np.int64),
+            np.asarray(target_list, dtype=np.int64),
+            messages,
+            np.asarray(size_list, dtype=np.int64),
+            payload_id,
+        )
+
+
+GossipNode.COHORT_KERNEL = GossipCohortKernel
+
+
 @dataclass
 class GossipRunResult:
     """Outcome of a standalone gossip run."""
@@ -95,9 +180,15 @@ def run_gossip(
     config: Optional[GossipConfig] = None,
     seed: Optional[int] = None,
     latency: Optional[LatencyModel] = None,
+    engine: str = "event",
 ) -> GossipRunResult:
     """Broadcast one payload with gossip and report reach and cost."""
-    simulator = Simulator(graph, latency=latency or ConstantLatency(0.1), seed=seed)
+    simulator = Simulator(
+        graph,
+        latency=latency or ConstantLatency(0.1),
+        seed=seed,
+        engine=engine,
+    )
     config = config or GossipConfig()
     simulator.populate(lambda node_id: GossipNode(node_id, config))
     origin = simulator.node(source)

@@ -94,6 +94,7 @@ class ThreePhaseBroadcast:
         latency: Optional[LatencyModel] = None,
         directory: Optional[GroupDirectory] = None,
         conditions: Optional[NetworkConditions] = None,
+        engine: str = "event",
     ) -> None:
         self.config = config or ProtocolConfig()
         self.rng = random.Random(seed)
@@ -114,6 +115,7 @@ class ThreePhaseBroadcast:
             latency=latency,
             seed=None if seed is None else seed + 1,
             conditions=conditions,
+            engine=engine,
         )
         # Per-instance counter for auto-generated payload ids: two systems
         # constructed the same way hand out the same id sequence regardless

@@ -94,6 +94,47 @@ class EventQueue:
         self._heap: list = []
         self._live = 0
         self._next_sequence = count().__next__
+        self._seq_counter: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Sequence reservation (batched engine)
+    # ------------------------------------------------------------------
+    def _take_sequence(self) -> int:
+        value = self._seq_counter
+        self._seq_counter = value + 1
+        return value
+
+    def enable_sequence_reservation(self) -> None:
+        """Switch to an int counter that supports block reservation.
+
+        The batched delivery engine interleaves heap entries with
+        struct-of-arrays cohort blocks that each occupy a contiguous *range*
+        of sequence numbers (:meth:`reserve_sequences`), so both must draw
+        from one shared counter.  ``itertools.count`` cannot jump, hence the
+        switch; the default engine keeps the slightly faster C counter.
+        Must be called before anything is pushed.
+        """
+        if self._heap:
+            raise RuntimeError(
+                "sequence reservation must be enabled on an empty queue"
+            )
+        self._seq_counter = 0
+        self._next_sequence = self._take_sequence
+
+    def reserve_sequences(self, count: int) -> int:
+        """Reserve ``count`` consecutive sequence numbers; return the first.
+
+        Only valid after :meth:`enable_sequence_reservation`.  Reserved
+        numbers order a delivery block's entries against heap entries
+        exactly as if each had been pushed individually.
+        """
+        if self._seq_counter is None:
+            raise RuntimeError(
+                "reserve_sequences requires enable_sequence_reservation()"
+            )
+        value = self._seq_counter
+        self._seq_counter = value + count
+        return value
 
     def __len__(self) -> int:
         return self._live
@@ -182,6 +223,34 @@ class EventQueue:
             self._live -= 1
             return head[0], item
         return None
+
+    def peek_entry(self) -> Optional[tuple]:
+        """The next live ``(time, sequence, item)`` entry, without popping.
+
+        The batched engine merges heap entries with its delivery blocks by
+        ``(time, sequence)``, so unlike :meth:`peek_time` it needs the
+        sequence number too.  ``item`` is the raw stored payload — an
+        :class:`Event` for :meth:`push` entries.  Cancelled events are
+        discarded on the way.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            item = head[2]
+            if item.__class__ is Event and item.cancelled:
+                heapq.heappop(heap)
+                continue
+            return head
+        return None
+
+    def pop_entry(self) -> Optional[tuple]:
+        """Remove and return the next live ``(time, sequence, item)`` entry.
+
+        The raw-payload counterpart of :meth:`pop_item` (``push`` entries
+        come back as their :class:`Event`, already detached); used by the
+        batched engine, whose dispatch wants the sequence number.
+        """
+        return self._pop_live()
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next pending event without removing it."""

@@ -20,6 +20,17 @@ class LatencyModel:
         """Return the delay of one message from ``sender`` to ``receiver``."""
         raise NotImplementedError
 
+    def constant_delay(self) -> "float | None":
+        """The fixed per-message delay, or ``None`` if delays vary.
+
+        The batched engine's fast path: a model returning a constant here
+        promises that :meth:`delay` is side-effect free and always yields
+        this value, letting a whole fan-out share one delivery time without
+        consuming any RNG.  Models that draw (or memoise) delays must return
+        ``None`` so the engine consumes them per message, in send order.
+        """
+        return None
+
 
 class ConstantLatency(LatencyModel):
     """Every link has the same fixed delay.
@@ -35,6 +46,9 @@ class ConstantLatency(LatencyModel):
         self._delay = delay
 
     def delay(self, sender: Hashable, receiver: Hashable) -> float:
+        return self._delay
+
+    def constant_delay(self) -> float:
         return self._delay
 
 

@@ -75,6 +75,31 @@ class MetricsCollector:
             if previous is None or time > previous:
                 self._completion[payload_id] = time
 
+    def record_delivery_batch(
+        self, payload_id: Hashable, time: float, nodes: List[Hashable]
+    ) -> None:
+        """Record first deliveries of one payload at one time for many nodes.
+
+        The batched engine's counterpart of :meth:`record_delivery`: one
+        call per cohort instead of one per freshly-infected node.  Nodes
+        that already obtained the payload are skipped, exactly like the
+        per-node path.
+        """
+        deliveries = self.deliveries
+        fresh = [
+            node for node in nodes if (node, payload_id) not in deliveries
+        ]
+        if not fresh:
+            return
+        for node in fresh:
+            deliveries[(node, payload_id)] = time
+        self._deliveries_by_payload[payload_id].extend(
+            (time, node) for node in fresh
+        )
+        previous = self._completion.get(payload_id)
+        if previous is None or time > previous:
+            self._completion[payload_id] = time
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

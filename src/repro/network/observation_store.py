@@ -69,6 +69,8 @@ class ObservationStore:
     # ``record`` structured so each index costs one lookup and one append.
     __slots__ = (
         "_log",
+        "_count",
+        "_pending",
         "_by_payload",
         "_by_kind",
         "_by_payload_kind",
@@ -81,6 +83,14 @@ class ObservationStore:
 
     def __init__(self) -> None:
         self._log: List[Observation] = []
+        # Batched writes (record_batch) defer Observation materialisation:
+        # counting indexes are updated eagerly (counts stay O(1)), while the
+        # per-object work — Observation construction, the per-receiver and
+        # first-seen tables — is kept as pending struct-of-arrays segments
+        # until a reader actually needs log entries.  ``_count`` is the
+        # logical length including pending segments.
+        self._count = 0
+        self._pending: List[tuple] = []
         self._by_payload: Dict[Hashable, List[int]] = defaultdict(list)
         self._by_kind: Dict[str, List[int]] = defaultdict(list)
         self._by_payload_kind: Dict[Tuple[Hashable, str], List[int]] = (
@@ -108,6 +118,8 @@ class ObservationStore:
         number; positions are strictly increasing, so index lists are always
         sorted and can be merged cheaply).
         """
+        if self._pending:
+            self._flush()
         log = self._log
         position = len(log)
         log.append(observation)
@@ -130,11 +142,94 @@ class ObservationStore:
         if receiver not in first_kind_table:
             first_kind_table[receiver] = position
         self._bytes_total += message.size_bytes
+        self._count = position + 1
 
         if first_of_pair and pair in self._first_hooks:
             for hook in self._first_hooks.pop(pair):
                 hook(observation)
         return position
+
+    def record_batch(
+        self,
+        time: float,
+        receivers,
+        senders,
+        messages,
+        payload_id: Hashable,
+        kind: str,
+        bytes_total: int,
+        direct: bool = False,
+    ) -> int:
+        """Bulk-append same-time deliveries of one ``(payload, kind)`` pair.
+
+        The batched engine's write path.  ``receivers``/``senders``/
+        ``messages`` are parallel sequences (numpy object arrays in
+        practice) in delivery order; ``bytes_total`` is the summed message
+        size.  The counting indexes (per payload, kind and pair, plus the
+        byte total) are updated immediately, so every O(1) count query
+        stays exact; :class:`Observation` construction and the
+        per-receiver/first-seen tables are deferred until a reader needs
+        log entries (:meth:`_flush`).  A 100k-node flood whose metrics are
+        all counts therefore never materialises its ~1.5M observations.
+
+        Returns the position of the first appended observation.
+        """
+        size = len(receivers)
+        start = self._count
+        if size == 0:
+            return start
+        positions = range(start, start + size)
+        self._by_payload[payload_id].extend(positions)
+        self._by_kind[kind].extend(positions)
+        pair = (payload_id, kind)
+        pair_positions = self._by_payload_kind[pair]
+        first_of_pair = not pair_positions
+        pair_positions.extend(positions)
+        self._bytes_total += bytes_total
+        self._count = start + size
+        self._pending.append(
+            (time, receivers, senders, messages, payload_id, kind, direct)
+        )
+        if first_of_pair and pair in self._first_hooks:
+            # Fire with a real Observation, exactly like record() would.
+            # (The simulator never takes the batched path while a hook is
+            # pending; this covers direct store users.)
+            self._flush()
+            for hook in self._first_hooks.pop(pair):
+                hook(self._log[start])
+        return start
+
+    @property
+    def has_pending_first_hooks(self) -> bool:
+        """Whether any :meth:`on_first` hook is still waiting to fire."""
+        return bool(self._first_hooks)
+
+    def _flush(self) -> None:
+        """Materialise pending batch segments into the log and tables."""
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        log = self._log
+        by_receiver = self._by_receiver
+        for time, receivers, senders, messages, payload_id, kind, direct in (
+            pending
+        ):
+            position = len(log)
+            first_table = self._first_by_receiver[payload_id]
+            first_kind_table = self._first_by_receiver_kind[
+                (payload_id, kind)
+            ]
+            for receiver, sender, message in zip(receivers, senders, messages):
+                log.append(
+                    Observation(time, receiver, sender, message, direct)
+                )
+                by_receiver[receiver].append(position)
+                if receiver not in first_table:
+                    first_table[receiver] = position
+                if receiver not in first_kind_table:
+                    first_kind_table[receiver] = position
+                position += 1
 
     def on_first(
         self, payload_id: Hashable, kind: str, hook: FirstObservationHook
@@ -158,6 +253,8 @@ class ObservationStore:
         pair = (payload_id, kind)
         existing = self._by_payload_kind.get(pair)
         if existing:
+            if self._pending:
+                self._flush()
             hook(self._log[existing[0]])
             return lambda: None
 
@@ -176,9 +273,11 @@ class ObservationStore:
     # Counting (all O(1))
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._log)
+        return self._count
 
     def __iter__(self) -> Iterator[Observation]:
+        if self._pending:
+            self._flush()
         return iter(self._log)
 
     def count(
@@ -188,7 +287,7 @@ class ObservationStore:
     ) -> int:
         """Number of recorded deliveries matching the filters."""
         if kind is None and payload_id is None:
-            return len(self._log)
+            return self._count
         if payload_id is None:
             return len(self._by_kind.get(kind, ()))
         if kind is None:
@@ -217,6 +316,8 @@ class ObservationStore:
         For read-only scans prefer :meth:`iter_observations`, which does not
         copy anything.
         """
+        if self._pending:
+            self._flush()
         return list(self._log)
 
     def iter_observations(self) -> Iterator[Observation]:
@@ -228,6 +329,8 @@ class ObservationStore:
         estimators, equivalence oracles) that previously paid a full-list
         copy via :attr:`observations` per scan.
         """
+        if self._pending:
+            self._flush()
         return iter(self._log)
 
     def _positions(
@@ -259,6 +362,8 @@ class ObservationStore:
         kinds: Optional[Tuple[str, ...]] = None,
     ) -> List[Observation]:
         """All deliveries of one payload in chronological order."""
+        if self._pending:
+            self._flush()
         return [self._log[i] for i in self._positions(payload_id, kinds)]
 
     def for_receivers(
@@ -275,6 +380,8 @@ class ObservationStore:
         payload's traffic — so the cost is bounded by the smaller of the two,
         never by the full log.
         """
+        if self._pending:
+            self._flush()
         receiver_set = set(receivers)
         receiver_lists = [
             self._by_receiver[r] for r in receiver_set if r in self._by_receiver
@@ -335,6 +442,8 @@ class ObservationStore:
         are merged by log position, so the result matches a chronological
         scan restricted to those kinds — at O(receivers) cost.
         """
+        if self._pending:
+            self._flush()
         if kinds is None:
             table = self._first_by_receiver.get(payload_id, {})
             return {r: self._log[i] for r, i in table.items()}

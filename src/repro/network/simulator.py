@@ -30,6 +30,17 @@ None of this changes observable behaviour: event ordering is still (time,
 insertion order), the loss/jitter stream still comes from the dedicated link
 RNG, and identical seeds produce identical observation logs (guarded by the
 golden tests in ``tests/network/test_fastpath_determinism.py``).
+
+Two engines.  ``Simulator(engine="event")`` (the default) is the per-message
+loop described above.  ``engine="batched"`` keeps the same interface and the
+same observable behaviour but, when every registered node is of one type
+that declares a ``COHORT_KERNEL`` (flood and gossip do), processes all
+deliveries sharing a timestamp as numpy struct-of-arrays cohorts — see
+:mod:`repro.network.batched`.  Runs without an eligible kernel (mixed node
+types, other protocols) silently use the event loop, so ``engine="batched"``
+is always safe to request.  Seed-for-seed the two engines produce identical
+observation logs and drop counters; the golden and property tests assert
+this for every preset.
 """
 
 from __future__ import annotations
@@ -57,6 +68,9 @@ from repro.network.metrics import MetricsCollector
 from repro.network.node import Node
 from repro.network.observation_store import ObservationStore
 
+#: The registered delivery engines (see the module docstring).
+ENGINES: Tuple[str, ...] = ("event", "batched")
+
 
 class Simulator:
     """Discrete-event simulation of a peer-to-peer overlay.
@@ -75,6 +89,10 @@ class Simulator:
             applied to every overlay send; randomness for both comes from a
             dedicated stream (derived from ``seed``), so lossless conditions
             leave protocol RNG consumption untouched.
+        engine: ``"event"`` (per-message loop, the default) or
+            ``"batched"`` (vectorised cohort kernel where a protocol
+            provides one; behaviourally identical).  Unknown names raise
+            ``KeyError`` listing the registered engines.
     """
 
     def __init__(
@@ -83,9 +101,16 @@ class Simulator:
         latency: Optional[LatencyModel] = None,
         seed: Optional[int] = None,
         conditions: Optional[NetworkConditions] = None,
+        engine: str = "event",
     ) -> None:
         if graph.number_of_nodes() == 0:
             raise ValueError("the overlay graph must not be empty")
+        if engine not in ENGINES:
+            raise KeyError(
+                f"unknown engine {engine!r} "
+                f"(registered: {', '.join(sorted(ENGINES))})"
+            )
+        self._engine = engine
         self.graph = graph
         if latency is not None:
             self.latency = latency
@@ -135,6 +160,25 @@ class Simulator:
         self._delay = self.latency.delay
         self._record = self.store.record
         self._push_item = self._queue.push_item
+        # Batched engine state.  The generation counter is bumped by every
+        # topology-cache invalidation so cohort kernels know when to rebuild
+        # their CSR view and churn masks; the block buffer holds kernel
+        # fan-outs as struct-of-arrays instead of per-message heap tuples.
+        self._topology_generation = 0
+        self._kernel = None
+        self._kernel_resolved = False
+        if engine == "batched":
+            from repro.network.batched import BlockBuffer
+
+            self._queue.enable_sequence_reservation()
+            self._blocks = BlockBuffer()
+        else:
+            self._blocks = None
+
+    @property
+    def engine(self) -> str:
+        """The delivery engine this simulator runs on."""
+        return self._engine
 
     # ------------------------------------------------------------------
     # Node management
@@ -147,6 +191,10 @@ class Simulator:
             raise ValueError(f"node {node.node_id!r} is already registered")
         node.attach(self)
         self._nodes[node.node_id] = node
+        # The cohort kernel (if any) is resolved from the full node
+        # population; adding a node of another type disqualifies it.
+        self._kernel = None
+        self._kernel_resolved = False
         return node
 
     def populate(self, factory: Callable[[Hashable], Node]) -> None:
@@ -206,9 +254,18 @@ class Simulator:
         owned by a simulator — must call this, or sends along new edges will
         be rejected against the stale topology.  (All built-in experiment
         flows mutate the graph before building the simulator.)
+
+        Also bumps the topology generation the batched engine's cohort
+        kernels track, and drops the CSR adjacency cached on the graph
+        object (keyed as in :mod:`repro.network.batched`), so both engines
+        see the change.
         """
         self._neighbour_cache.clear()
         self._adjacency.clear()
+        self._topology_generation += 1
+        # Same literal as batched.CSR_CACHE_KEY; popped here by name so the
+        # event engine never imports numpy.
+        self.graph.graph.pop("repro_csr_topology", None)
 
     # ------------------------------------------------------------------
     # Churn: node failures and rejoins
@@ -379,6 +436,42 @@ class Simulator:
         for node_id in sorted(self._nodes, key=repr):
             self._nodes[node_id].on_start()
 
+    def _resolve_kernel(self):
+        """The cohort kernel for the current node population, or ``None``.
+
+        Eligible only when every registered node is of exactly one type
+        whose ``COHORT_KERNEL`` declares that same type as its
+        ``node_type`` — subclasses may override behaviour the kernel
+        hard-codes, so they do not inherit eligibility.  Cached until the
+        population changes.
+        """
+        if self._kernel_resolved:
+            return self._kernel
+        self._kernel_resolved = True
+        nodes = self._nodes
+        if nodes:
+            first_type = type(next(iter(nodes.values())))
+            kernel_cls = getattr(first_type, "COHORT_KERNEL", None)
+            if (
+                kernel_cls is not None
+                and kernel_cls.node_type is first_type
+                and all(type(node) is first_type for node in nodes.values())
+            ):
+                self._kernel = kernel_cls(self)
+        return self._kernel
+
+    def _next_pending_time(self) -> Optional[float]:
+        """Earliest pending time across the heap and the block buffer."""
+        queue_time = self._queue.peek_time()
+        block_time = (
+            self._blocks.peek_time() if self._blocks is not None else None
+        )
+        if queue_time is None:
+            return block_time
+        if block_time is None:
+            return queue_time
+        return min(queue_time, block_time)
+
     def run(
         self,
         until: Optional[float] = None,
@@ -399,7 +492,19 @@ class Simulator:
         ``run(until=...)`` loops keep advancing through idle periods instead
         of spinning on a stuck clock.  A ``max_events`` exit leaves the clock
         at the last executed event.
+
+        Engine note: under ``engine="batched"`` (with an eligible cohort
+        kernel) the ``max_events`` cap is checked between cohorts, so a run
+        may execute up to one cohort past the cap before stopping; ``until``
+        semantics are identical on both engines.  Without an eligible
+        kernel the batched engine runs this very loop.
         """
+        if self._engine == "batched":
+            kernel = self._resolve_kernel()
+            if kernel is not None:
+                from repro.network.batched import run_batched
+
+                return run_batched(self, kernel, until, max_events)
         self._start_nodes()
         executed = 0
         event_cap = float("inf") if max_events is None else max_events
@@ -458,8 +563,23 @@ class Simulator:
         return self._now
 
     def run_until_idle(self, max_events: int = 10_000_000) -> float:
-        """Run until no events remain (with a generous safety valve)."""
-        return self.run(max_events=max_events)
+        """Run until no events remain.
+
+        ``max_events`` is a safety valve against non-quiescing simulations,
+        not a soft cap: if it trips with work still pending, a
+        ``RuntimeError`` naming the engine is raised instead of silently
+        returning a half-finished run.
+        """
+        end = self.run(max_events=max_events)
+        pending = self.pending_events
+        if pending:
+            raise RuntimeError(
+                f"run_until_idle stopped at max_events={max_events} with "
+                f"{pending} event(s) still pending on the "
+                f"{self._engine!r} engine; the simulation is not quiescing "
+                f"(raise max_events or drive it with run(until=...))"
+            )
+        return end
 
     @property
     def pending_events(self) -> int:
@@ -467,9 +587,14 @@ class Simulator:
 
         Cancelled events are excluded immediately, so a ``pending_events ==
         0`` check means the simulation is genuinely idle — timers that were
-        cancelled no longer keep runner loops spinning.
+        cancelled no longer keep runner loops spinning.  On the batched
+        engine this includes deliveries buffered in cohort blocks, which
+        live outside the heap; both engines therefore agree on idleness.
         """
-        return len(self._queue)
+        pending = len(self._queue)
+        if self._blocks is not None:
+            pending += len(self._blocks)
+        return pending
 
     # ------------------------------------------------------------------
     # Message-loss accounting

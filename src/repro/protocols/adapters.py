@@ -61,6 +61,7 @@ def _build_session(
     conditions: Optional[NetworkConditions],
     seed: Optional[int],
     rng: Optional[random.Random] = None,
+    engine: str = "event",
 ) -> ProtocolSession:
     """Session scaffolding shared by the per-broadcast adapters.
 
@@ -74,7 +75,9 @@ def _build_session(
     if rng is None:
         rng = random.Random(seed)
     latency = conditions.build_latency(rng)
-    simulator = Simulator(graph, latency=latency, seed=seed, conditions=conditions)
+    simulator = Simulator(
+        graph, latency=latency, seed=seed, conditions=conditions, engine=engine
+    )
     return ProtocolSession(
         protocol=protocol,
         graph=graph,
@@ -100,8 +103,9 @@ class FloodProtocol(BroadcastProtocol):
         graph: nx.Graph,
         conditions: Optional[NetworkConditions] = None,
         seed: Optional[int] = None,
+        engine: str = "event",
     ) -> ProtocolSession:
-        session = _build_session(self, graph, conditions, seed)
+        session = _build_session(self, graph, conditions, seed, engine=engine)
         session.simulator.populate(
             lambda node_id: FloodNode(node_id, self.payload_size_bytes)
         )
@@ -134,8 +138,9 @@ class GossipProtocol(BroadcastProtocol):
         graph: nx.Graph,
         conditions: Optional[NetworkConditions] = None,
         seed: Optional[int] = None,
+        engine: str = "event",
     ) -> ProtocolSession:
-        session = _build_session(self, graph, conditions, seed)
+        session = _build_session(self, graph, conditions, seed, engine=engine)
         session.simulator.populate(
             lambda node_id: GossipNode(node_id, self.config)
         )
@@ -168,12 +173,13 @@ class DandelionProtocol(BroadcastProtocol):
         graph: nx.Graph,
         conditions: Optional[NetworkConditions] = None,
         seed: Optional[int] = None,
+        engine: str = "event",
     ) -> ProtocolSession:
         # Successors are drawn from the session RNG before the latency model
         # is built — the draw order the historical experiment loop used.
         rng = random.Random(seed)
         successors = assign_stem_successors(graph, rng)
-        session = _build_session(self, graph, conditions, seed, rng=rng)
+        session = _build_session(self, graph, conditions, seed, rng=rng, engine=engine)
         session.simulator.populate(
             lambda node_id: DandelionNode(node_id, self.config, successors[node_id])
         )
@@ -222,8 +228,9 @@ class AdaptiveDiffusionProtocol(BroadcastProtocol):
         graph: nx.Graph,
         conditions: Optional[NetworkConditions] = None,
         seed: Optional[int] = None,
+        engine: str = "event",
     ) -> ProtocolSession:
-        session = _build_session(self, graph, conditions, seed)
+        session = _build_session(self, graph, conditions, seed, engine=engine)
         session.simulator.populate(
             lambda node_id: AdaptiveDiffusionNode(node_id, self.config)
         )
@@ -274,10 +281,11 @@ class ThreePhaseProtocol(BroadcastProtocol):
         graph: nx.Graph,
         conditions: Optional[NetworkConditions] = None,
         seed: Optional[int] = None,
+        engine: str = "event",
     ) -> ProtocolSession:
         conditions = conditions if conditions is not None else NetworkConditions()
         system = ThreePhaseBroadcast(
-            graph, self.config, seed=seed, conditions=conditions
+            graph, self.config, seed=seed, conditions=conditions, engine=engine
         )
         return ProtocolSession(
             protocol=self,

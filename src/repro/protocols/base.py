@@ -142,8 +142,15 @@ class BroadcastProtocol(abc.ABC):
         graph: nx.Graph,
         conditions: Optional[NetworkConditions] = None,
         seed: Optional[int] = None,
+        engine: str = "event",
     ) -> ProtocolSession:
-        """Create a session for ``graph`` under ``conditions``."""
+        """Create a session for ``graph`` under ``conditions``.
+
+        ``engine`` selects the simulator's delivery engine (see
+        :data:`repro.network.simulator.ENGINES`).  Both engines are
+        seed-for-seed identical in every observable, so the choice only
+        affects wall-clock performance.
+        """
 
     @abc.abstractmethod
     def broadcast(

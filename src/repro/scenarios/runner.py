@@ -138,6 +138,7 @@ def run_scenario_once(
         # A fresh model per run: models are stateful across broadcasts
         # (suspicion mass, expelled members), never across runs.
         adversary=spec.adversary.build(),
+        engine=spec.engine,
     )
 
 
@@ -154,6 +155,7 @@ def build_session(
         compiled.graph,
         compiled.conditions,
         seed=spec.seeds.base_seed if seed is None else seed,
+        engine=spec.engine,
     )
     if compiled.session_hook is not None:
         compiled.session_hook(session)

@@ -356,6 +356,10 @@ class ScenarioSpec:
         churn: optional failure/rejoin schedule.
         faults: correlated fault models applied to every session.
         privacy: which anonymity metrics the run reports.
+        engine: simulator delivery engine every session runs on
+            (``"event"`` or ``"batched"``).  Both engines are seed-for-seed
+            identical in every observable, so the choice affects wall-clock
+            time only — run digests are engine-independent.
         description: one line for catalogues and the CLI.
         tags: free-form labels (``"paper"``, ``"stress"``, ...).
     """
@@ -371,12 +375,20 @@ class ScenarioSpec:
     churn: Optional[ChurnSpec] = None
     faults: Tuple[FaultSpec, ...] = ()
     privacy: PrivacySpec = PrivacySpec()
+    engine: str = "event"
     description: str = ""
     tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a scenario needs a non-empty name")
+        from repro.network.simulator import ENGINES
+
+        if self.engine not in ENGINES:
+            known = ", ".join(sorted(ENGINES))
+            raise KeyError(
+                f"unknown engine {self.engine!r} (registered: {known})"
+            )
         # JSON round-trips deliver lists; store the canonical tuple.
         object.__setattr__(self, "faults", tuple(self.faults))
 
@@ -422,6 +434,8 @@ class ScenarioSpec:
             ]
         else:
             del data["faults"]
+        if self.engine == "event":
+            del data["engine"]
         if self.churn is not None:
             data["churn"]["events"] = [
                 [event.time, event.node, event.action]
@@ -469,6 +483,7 @@ class ScenarioSpec:
                 for fault in data.get("faults", ())
             ),
             privacy=PrivacySpec(**data.get("privacy", {})),
+            engine=data.get("engine", "event"),
             description=data.get("description", ""),
             tags=tuple(data.get("tags", ())),
         )

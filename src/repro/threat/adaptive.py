@@ -112,7 +112,9 @@ class AdaptiveMonitoringAdversary(AdversaryModel):
         if not self.enabled:
             return None
         self._observed += 1
-        if scores:
+        # An all-zero surface is an abstention (no evidence), not a
+        # distribution — folding it in would make normalize() raise.
+        if scores and any(scores.values()):
             posterior = normalize(scores)
             if self.decay < 1.0:
                 for node in self._mass:

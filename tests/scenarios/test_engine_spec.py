@@ -1,0 +1,89 @@
+"""The ``engine`` knob on ScenarioSpec and the scenario CLI.
+
+The spec field must be digest-neutral at its default (pre-existing spec
+serializations and run digests cannot change), validated like every other
+registry name (KeyError listing the alternatives), and — the whole point —
+behaviour-neutral: a preset runs to the identical observation digest on
+either engine.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import ScenarioRunner, ScenarioSpec, scenario
+from repro.scenarios.spec import TopologySpec
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "scenario.py"
+
+
+def _run_cli(*args):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+def _small_spec(engine="event"):
+    return ScenarioSpec(
+        name="engine-probe",
+        topology=TopologySpec(
+            "random_regular", {"num_nodes": 60, "degree": 6, "seed": 5}
+        ),
+        protocol="flood",
+        engine=engine,
+    )
+
+
+class TestSpecField:
+    def test_default_engine_omitted_from_serialization(self):
+        spec = _small_spec()
+        assert "engine" not in spec.to_dict()
+        assert ScenarioSpec.from_dict(spec.to_dict()).engine == "event"
+
+    def test_batched_engine_round_trips(self):
+        spec = _small_spec(engine="batched")
+        data = spec.to_dict()
+        assert data["engine"] == "batched"
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_engine_lists_registered(self):
+        with pytest.raises(KeyError) as excinfo:
+            _small_spec(engine="warp")
+        message = excinfo.value.args[0]
+        assert "unknown engine 'warp'" in message
+        assert "batched" in message and "event" in message
+
+    def test_derive_switches_engine(self):
+        spec = _small_spec()
+        assert spec.derive(engine="batched").engine == "batched"
+
+    def test_preset_digests_are_engine_independent(self):
+        runner = ScenarioRunner(processes=1)
+        spec = scenario("e4_broadcast_deanonymization")
+        assert runner.observation_digest(spec) == runner.observation_digest(
+            spec.derive(engine="batched")
+        )
+
+
+class TestCliEngineFlag:
+    def test_unknown_engine_exits_two_with_clean_error(self):
+        proc = _run_cli(
+            "run", "e4_broadcast_deanonymization", "--engine", "warp"
+        )
+        assert proc.returncode == 2
+        assert "error: unknown engine 'warp'" in proc.stderr
+        assert "batched" in proc.stderr and "event" in proc.stderr
+
+    def test_batched_engine_runs_preset(self):
+        proc = _run_cli(
+            "run", "e4_broadcast_deanonymization",
+            "--engine", "batched", "--repetitions", "1", "--processes", "1",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "# digest:" in proc.stdout

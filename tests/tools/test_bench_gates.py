@@ -1,0 +1,216 @@
+"""scripts/bench.py gates: wall-clock regression and memory budget.
+
+The benchmark harness has two failure gates — the calibrated events/sec
+regression threshold (``compare_reports``) and the per-scenario peak-RSS
+budget (``memory_gate``).  Both are exercised here on synthetic reports and
+through the CLI with a stubbed-in scenario suite, so a broken gate fails in
+the plain tier-1 environment instead of silently letting perf or memory
+regressions into ``benchmarks/results/``.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks import harness  # noqa: E402
+
+SCRIPT = REPO_ROOT / "scripts" / "bench.py"
+_spec = importlib.util.spec_from_file_location("bench_cli", SCRIPT)
+bench_cli = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_cli)
+
+
+def _report(results, calibration=1.0):
+    return {
+        "meta": {
+            "calibration_ops_per_second": calibration,
+            "created_at": 1.0,
+        },
+        "results": results,
+    }
+
+
+def _result(eps, budget_mib=None, rss_mib=10.0):
+    result = {
+        "events_per_second": eps,
+        "events": 100,
+        "median_seconds": 100 / eps,
+        "min_seconds": 100 / eps,
+        "peak_rss_kib": int(rss_mib * 1024),
+        "repeats": 1,
+        "warmup": 0,
+        "description": "synthetic",
+    }
+    if budget_mib is not None:
+        result["memory_budget_mib"] = budget_mib
+    return result
+
+
+# ----------------------------------------------------------------------
+# Wall-clock gate (compare_reports)
+# ----------------------------------------------------------------------
+class TestCompareGate:
+    def test_regression_beyond_threshold_flagged(self):
+        baseline = _report({"a": _result(1000.0)})
+        current = _report({"a": _result(700.0)})
+        (entry,) = harness.compare_reports(
+            baseline, current, max_regression=0.25
+        )
+        assert entry["status"] == "regression"
+        assert entry["speedup"] == pytest.approx(0.7)
+
+    def test_within_threshold_ok(self):
+        baseline = _report({"a": _result(1000.0)})
+        current = _report({"a": _result(800.0)})
+        (entry,) = harness.compare_reports(
+            baseline, current, max_regression=0.25
+        )
+        assert entry["status"] == "ok"
+
+    def test_calibration_normalises_machine_speed(self):
+        # Half the raw eps on a machine measured at half the calibration
+        # speed is not a regression.
+        baseline = _report({"a": _result(1000.0)}, calibration=2.0)
+        current = _report({"a": _result(500.0)}, calibration=1.0)
+        (entry,) = harness.compare_reports(
+            baseline, current, max_regression=0.25
+        )
+        assert entry["status"] == "ok"
+
+    def test_missing_scenarios_never_fail(self):
+        baseline = _report({"a": _result(1000.0)})
+        current = _report({"b": _result(1000.0)})
+        statuses = {
+            entry["status"]
+            for entry in harness.compare_reports(baseline, current)
+        }
+        assert statuses == {"missing"}
+
+
+# ----------------------------------------------------------------------
+# Memory gate (memory_gate)
+# ----------------------------------------------------------------------
+class TestMemoryGate:
+    def test_over_budget_flagged(self):
+        report = _report(
+            {"big": _result(1000.0, budget_mib=100.0, rss_mib=150.0)}
+        )
+        (entry,) = harness.memory_gate(report)
+        assert entry["status"] == "over"
+        assert entry["peak_rss_mib"] == pytest.approx(150.0)
+        assert entry["budget_mib"] == 100.0
+
+    def test_within_budget_ok(self):
+        report = _report(
+            {"big": _result(1000.0, budget_mib=100.0, rss_mib=50.0)}
+        )
+        (entry,) = harness.memory_gate(report)
+        assert entry["status"] == "ok"
+
+    def test_unbudgeted_scenarios_not_listed(self):
+        report = _report({"small": _result(1000.0)})
+        assert harness.memory_gate(report) == []
+
+    def test_budget_travels_inside_the_report(self):
+        # run_scenario embeds the budget so the gate needs no live suite.
+        scenario = harness.flood_scenario(
+            "gate_probe", size=30, degree=4, memory_budget_mib=123.0
+        )
+        result = harness.run_scenario(scenario, repeats=1, warmup=0)
+        assert result["memory_budget_mib"] == 123.0
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes (scripts/bench.py main)
+# ----------------------------------------------------------------------
+def _stub_suite(monkeypatch, budget_mib):
+    """Replace the tracked suite with one tiny budgeted flood scenario."""
+    scenario = harness.flood_scenario(
+        "stub_tier",
+        size=30,
+        degree=4,
+        smoke=True,
+        memory_budget_mib=budget_mib,
+    )
+    monkeypatch.setattr(harness, "SCENARIOS", {scenario.name: scenario})
+
+
+class TestCliGates:
+    def test_memory_gate_trips_even_without_baseline(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        # Any real process has far more than 0.001 MiB resident, so the
+        # stub tier is guaranteed over budget; no baseline exists, and the
+        # gate must still fail the invocation with the per-scenario table.
+        _stub_suite(monkeypatch, budget_mib=0.001)
+        code = bench_cli.main(
+            ["--scenarios", "stub_tier", "--repeats", "1", "--warmup", "0",
+             "--label", "gate", "--output-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "memory budgets:" in out
+        assert "stub_tier" in out
+        assert "FAIL: peak RSS above the scenario memory budget" in out
+
+    def test_memory_gate_trips_under_no_compare(
+        self, monkeypatch, tmp_path
+    ):
+        _stub_suite(monkeypatch, budget_mib=0.001)
+        code = bench_cli.main(
+            ["--scenarios", "stub_tier", "--repeats", "1", "--warmup", "0",
+             "--label", "gate", "--output-dir", str(tmp_path),
+             "--no-compare", "--no-write"]
+        )
+        assert code == 1
+
+    def test_memory_gate_passes_within_budget(
+        self, monkeypatch, tmp_path
+    ):
+        _stub_suite(monkeypatch, budget_mib=1e9)
+        code = bench_cli.main(
+            ["--scenarios", "stub_tier", "--repeats", "1", "--warmup", "0",
+             "--label", "gate", "--output-dir", str(tmp_path),
+             "--no-compare", "--no-write"]
+        )
+        assert code == 0
+
+    def test_wallclock_gate_trips_against_baseline(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        # A baseline claiming absurd calibrated throughput forces the
+        # regression branch regardless of machine speed.
+        _stub_suite(monkeypatch, budget_mib=1e9)
+        baseline = tmp_path / "BENCH_base.json"
+        baseline.write_text(json.dumps(_report(
+            {"stub_tier": _result(1e15)}
+        )))
+        code = bench_cli.main(
+            ["--scenarios", "stub_tier", "--repeats", "1", "--warmup", "0",
+             "--label", "gate", "--output-dir", str(tmp_path), "--no-write",
+             "--baseline", str(baseline)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL: regression beyond" in out
+
+    def test_both_gates_pass_exit_zero(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        _stub_suite(monkeypatch, budget_mib=1e9)
+        baseline = tmp_path / "BENCH_base.json"
+        baseline.write_text(json.dumps(_report(
+            {"stub_tier": _result(1e-9)}
+        )))
+        code = bench_cli.main(
+            ["--scenarios", "stub_tier", "--repeats", "1", "--warmup", "0",
+             "--label", "gate", "--output-dir", str(tmp_path), "--no-write",
+             "--baseline", str(baseline)]
+        )
+        assert code == 0
