@@ -49,6 +49,7 @@ __all__ = [
     "calibrate",
     "compare_reports",
     "dcnet_round_scenario",
+    "flood_runphase_scenario",
     "flood_scenario",
     "gossip_scenario",
     "memory_gate",
@@ -66,10 +67,22 @@ class Scenario:
     Attributes:
         name: stable identifier; reports are compared per name.
         description: one line for tables and logs.
-        setup: builds the scenario context (overlays, frames); not timed.
-        run: executes the measured workload on the context and returns the
-            number of simulated events it processed.
+        setup: builds the scenario context (overlays, frames); not timed,
+            run once per measurement.
+        run: executes the measured workload on the context (or, with a
+            ``prepare`` hook, on that repeat's prepared state) and returns
+            the number of simulated events it processed.
+        prepare: optional untimed per-repeat hook: called before *every*
+            warmup and timed iteration with the setup context, its return
+            value handed to ``run`` instead of the context.  The scale
+            tiers use it to build the per-run simulator (hundreds of
+            thousands of node objects) outside the timed region, so
+            events/sec measures delivery throughput, not allocation.
         smoke: whether the scenario is part of the quick ``--smoke`` set.
+        engine: the delivery engine the scenario exercises (``"event"``,
+            ``"batched"``, ``"sharded"`` — or ``"event"`` for scenarios
+            the knob does not apply to).  ``scripts/bench.py --engines``
+            filters on it.
         memory_budget_mib: peak-RSS ceiling for this scenario in MiB, or
             ``None`` for no budget.  ``ru_maxrss`` is a process-lifetime
             high-water mark, so the budget must cover everything that ran
@@ -83,7 +96,9 @@ class Scenario:
     description: str
     setup: Callable[[], Any]
     run: Callable[[Any], int]
+    prepare: Optional[Callable[[Any], Any]] = None
     smoke: bool = False
+    engine: str = "event"
     memory_budget_mib: Optional[float] = None
 
 
@@ -124,6 +139,68 @@ def flood_scenario(
         setup=setup,
         run=run,
         smoke=smoke,
+        engine=engine,
+        memory_budget_mib=memory_budget_mib,
+    )
+
+
+def flood_runphase_scenario(
+    name: str,
+    size: int,
+    degree: int = 8,
+    overlay_seed: int = 9,
+    run_seed: int = 0,
+    smoke: bool = False,
+    engine: str = "event",
+    shards: Optional[int] = None,
+    memory_budget_mib: Optional[float] = None,
+) -> Scenario:
+    """Pure run-phase flood tier: session construction is untimed.
+
+    The plain flood tiers time ``run_flood`` end to end, simulator
+    construction included.  At 250k+ nodes allocating the node objects
+    costs as much as delivering to them and would hide the engines'
+    actual throughput difference, so these tiers build the session in the
+    untimed ``prepare`` hook and time only the delivery run.  Events are
+    the observation-log length, directly comparable across engines and
+    shard counts (all engines produce identical logs).
+    """
+
+    def setup() -> Any:
+        from repro.network.topology import random_regular_overlay
+
+        return random_regular_overlay(size, degree=degree, seed=overlay_seed)
+
+    def prepare(overlay: Any) -> Any:
+        from repro.broadcast.flood import FloodNode
+        from repro.network.latency import ConstantLatency
+        from repro.network.simulator import Simulator
+
+        sim = Simulator(
+            overlay,
+            latency=ConstantLatency(0.1),
+            seed=run_seed,
+            engine=engine,
+            shards=shards,
+        )
+        sim.populate(FloodNode)
+        sim.node(0).originate("tx")
+        return sim
+
+    def run(sim: Any) -> int:
+        sim.run_until_idle()
+        return len(sim.store)
+
+    shard_note = f", {shards} shards" if shards is not None else ""
+    return Scenario(
+        name=name,
+        description=f"E11 flood run phase, {size:,} peers "
+        f"(degree {degree}, {engine} engine{shard_note})",
+        setup=setup,
+        run=run,
+        prepare=prepare,
+        smoke=smoke,
+        engine=engine,
         memory_budget_mib=memory_budget_mib,
     )
 
@@ -170,6 +247,7 @@ def gossip_scenario(
         setup=setup,
         run=run,
         smoke=smoke,
+        engine=engine,
         memory_budget_mib=memory_budget_mib,
     )
 
@@ -405,6 +483,42 @@ SCENARIOS: Dict[str, Scenario] = {
             engine="batched",
             memory_budget_mib=2048.0,
         ),
+        # Run-phase tiers (untimed ``prepare``): session construction is
+        # excluded, so these measure delivery throughput alone — the
+        # apples-to-apples comparison between the batched engine and the
+        # sharded engine's worker fan-out at the same node count.  The
+        # sharded shard counts are the measured sweet spots per size (see
+        # docs/BENCHMARKS.md for the full shard-count curve).
+        flood_runphase_scenario(
+            "e11_flood_250000_batched",
+            size=250_000,
+            engine="batched",
+            memory_budget_mib=2048.0,
+        ),
+        flood_runphase_scenario(
+            "e11_flood_250000_sharded",
+            size=250_000,
+            engine="sharded",
+            shards=2,
+            memory_budget_mib=2048.0,
+        ),
+        flood_runphase_scenario(
+            "e11_flood_500000_sharded",
+            size=500_000,
+            engine="sharded",
+            shards=4,
+            memory_budget_mib=2560.0,
+        ),
+        # The 1M smoke tier: proves the sharded engine completes a
+        # million-node flood within budget; not in the --smoke set (the
+        # overlay alone takes minutes to generate in CI).
+        flood_runphase_scenario(
+            "e11_flood_1000000_sharded",
+            size=1_000_000,
+            engine="sharded",
+            shards=4,
+            memory_budget_mib=3072.0,
+        ),
     )
 }
 
@@ -419,7 +533,7 @@ def scenario_names(smoke_only: bool = False) -> List[str]:
 
 
 def peak_rss_kib() -> int:
-    """Peak resident set size of this process in KiB (Linux semantics).
+    """Peak resident set size in KiB (Linux semantics), workers included.
 
     ``ru_maxrss`` is the process-lifetime high-water mark — it never goes
     back down — so a scenario's reported value is an *upper bound* set by
@@ -427,8 +541,18 @@ def peak_rss_kib() -> int:
     scenarios in ascending footprint order, which makes the bound tight for
     each suite's biggest scenarios; for exact per-scenario numbers run one
     scenario per process (``scripts/bench.py --scenarios <name>``).
+
+    The sharded engine does its delivery work in forked worker processes;
+    their memory must not escape the budget gate, so the reported number is
+    the maximum of the parent's high-water mark and the largest reaped
+    child's (``RUSAGE_CHILDREN``).  Fork shares the parent's pages
+    copy-on-write, so a worker's ``ru_maxrss`` starts near the parent's —
+    the max, not the sum, is the honest per-process bound.
     """
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return max(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss,
+    )
 
 
 def calibrate(loops: int = 3, inner: int = 200_000) -> float:
@@ -462,17 +586,28 @@ def run_scenario(
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
     context = scenario.setup()
+
+    def state() -> Any:
+        if scenario.prepare is None:
+            return context
+        return scenario.prepare(context)
+
     for _ in range(warmup):
-        scenario.run(context)
+        scenario.run(state())
     seconds: List[float] = []
     events: Optional[int] = None
+    prepared: Any = None
     for _ in range(repeats):
         # Simulator/node graphs are cyclic; collecting them *outside* the
         # timed region keeps one repeat's garbage from slowing the next and
-        # makes repeats independent of how many scenarios ran before.
+        # makes repeats independent of how many scenarios ran before.  The
+        # previous repeat's prepared state is dropped *before* the next one
+        # is built — two live simulators would double a scale tier's peak.
+        prepared = None
         gc.collect()
+        prepared = state()
         start = time.perf_counter()
-        run_events = scenario.run(context)
+        run_events = scenario.run(prepared)
         seconds.append(time.perf_counter() - start)
         if events is None:
             events = run_events

@@ -105,10 +105,17 @@ def main(argv: Optional[list] = None) -> int:
         "(overrides --smoke selection)",
     )
     parser.add_argument(
+        "--engines",
+        nargs="+",
+        metavar="ENGINE",
+        help="keep only scenarios exercising these delivery engines "
+        "(event, batched, sharded); composes with --smoke/--scenarios",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="print the tracked scenarios (name, smoke membership, "
-        "description) and exit",
+        "engine, description) and exit",
     )
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--warmup", type=int, default=1)
@@ -166,7 +173,10 @@ def main(argv: Optional[list] = None) -> int:
         for name in harness.scenario_names():
             scenario = harness.SCENARIOS[name]
             marker = "smoke" if scenario.smoke else "     "
-            print(f"{name:24s} [{marker}] {scenario.description}")
+            print(
+                f"{name:28s} [{marker}] [{scenario.engine:7s}] "
+                f"{scenario.description}"
+            )
         return 0
 
     if args.scenarios:
@@ -187,6 +197,27 @@ def main(argv: Optional[list] = None) -> int:
                     names.append(name)
     else:
         names = harness.scenario_names(smoke_only=args.smoke)
+
+    if args.engines:
+        known_engines = {
+            harness.SCENARIOS[name].engine
+            for name in harness.scenario_names()
+        }
+        unknown = [e for e in args.engines if e not in known_engines]
+        if unknown:
+            parser.error(
+                f"--engines {unknown} match no tracked scenario "
+                f"(tracked engines: {', '.join(sorted(known_engines))})"
+            )
+        names = [
+            name
+            for name in names
+            if harness.SCENARIOS[name].engine in args.engines
+        ]
+        if not names:
+            parser.error(
+                "the --engines filter removed every selected scenario"
+            )
 
     label = args.label or _git_label()
     print(f"# bench: scenarios={names} label={label} src={src}")
@@ -251,7 +282,20 @@ def main(argv: Optional[list] = None) -> int:
         baseline, report, max_regression=args.max_regression
     ):
         if entry["status"] == "missing":
-            print(f"{entry['name']:24s} missing from one report; skipped")
+            # Direction matters: a scenario absent from the *baseline* is
+            # expected whenever a new tier lands (nothing to regress
+            # against), while one absent from the *current* report usually
+            # means the run was filtered or the scenario was dropped.
+            if entry["baseline_eps"] is None:
+                print(
+                    f"{entry['name']:24s}   new scenario, no baseline "
+                    f"({entry['current_eps']:,.0f} raw events/s)"
+                )
+            else:
+                print(
+                    f"{entry['name']:24s}   in baseline only; not measured "
+                    "in this run"
+                )
             continue
         marker = {
             "ok": " ",

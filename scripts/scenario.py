@@ -135,6 +135,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         if args.engine is not None:
             spec = spec.derive(engine=args.engine)
+        if args.shards is not None:
+            spec = spec.derive(shards=args.shards)
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
@@ -221,9 +223,15 @@ def main(argv: Optional[list] = None) -> int:
     )
     run_parser.add_argument(
         "--engine", default=None,
-        help="override the spec's simulator engine ('event' or 'batched'; "
-             "both are seed-for-seed identical, 'batched' is faster at "
-             "scale)",
+        help="override the spec's simulator engine ('event', 'batched' or "
+             "'sharded'; all are seed-for-seed identical, 'batched' is "
+             "faster at scale and 'sharded' spreads eligible runs over "
+             "worker processes)",
+    )
+    run_parser.add_argument(
+        "--shards", type=int, default=None,
+        help="worker-process count for --engine sharded "
+             "(default: the engine's own default)",
     )
     run_parser.add_argument(
         "--no-privacy", action="store_true",

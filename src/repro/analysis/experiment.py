@@ -169,6 +169,7 @@ def run_attack_experiment(
     privacy: Union[bool, PrivacyConfig] = True,
     adversary: Optional[AdversaryModel] = None,
     engine: str = "event",
+    shards: Optional[int] = None,
 ) -> ExperimentResult:
     """Run the deanonymisation experiment against one registered protocol.
 
@@ -211,7 +212,8 @@ def run_attack_experiment(
             exactly the static deployment's RNG draws, so models that do
             not adapt stay seed-for-seed identical to ``adversary=None``.
         engine: simulator delivery engine for every session
-            (see :data:`repro.network.simulator.ENGINES`).  Both engines
+            (see :data:`repro.network.simulator.ENGINES`); ``shards``
+            sets the sharded engine's worker count.  All engines
             are seed-for-seed identical in every observable, so this only
             affects wall-clock performance.
 
@@ -274,7 +276,9 @@ def run_attack_experiment(
         return scores
 
     if proto.shared_session:
-        session = proto.build(graph, conditions, seed=seed, engine=engine)
+        session = proto.build(
+            graph, conditions, seed=seed, engine=engine, shards=shards
+        )
         if session_hook is not None:
             session_hook(session)
         protected = set(sources)
@@ -304,7 +308,8 @@ def run_attack_experiment(
         for index, source in enumerate(sources):
             run_seed = seed * 1000 + index
             session = proto.build(
-                graph, conditions, seed=run_seed, engine=engine
+                graph, conditions, seed=run_seed, engine=engine,
+                shards=shards,
             )
             if session_hook is not None:
                 session_hook(session)

@@ -37,6 +37,7 @@ unaffected by the unordered arrival.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import sys
@@ -51,6 +52,8 @@ from repro.analysis.sweep import (
 )
 
 _Task = Tuple[int, ParameterValue, int]
+
+logger = logging.getLogger(__name__)
 
 # Module-level slot the fork-started workers inherit; holding the runner here
 # (instead of sending it through the task queue) is what allows closures.
@@ -90,6 +93,14 @@ class ParallelSweep:
             ``len(tasks) // (workers * 4)`` (at least 1), which keeps every
             worker busy while bounding the scheduling overhead.
 
+    After a ``run()``, :attr:`effective_processes` reports the worker count
+    actually used (``1`` on the serial path) — callers surface it so a
+    silently degraded environment is visible in persisted results.  When the
+    degrade is *platform-forced* (parallelism was requested but the platform
+    cannot fork) a ``logging`` warning is emitted as well; asking for
+    ``processes=1``, or having a single task, degrades silently because the
+    serial path is then the expected one.
+
     The worker pool persists across ``run()`` calls with the same runner and
     worker count, so repeated sweeps amortise the fork cost; call
     :meth:`close` (or use the instance as a context manager) to release the
@@ -105,6 +116,11 @@ class ParallelSweep:
     base_seed: int = 0
     processes: Optional[int] = None
     chunk_size: Optional[int] = None
+    #: Worker count the most recent ``run()`` actually used (``1`` = serial
+    #: path); ``None`` until the first run.
+    effective_processes: Optional[int] = field(
+        default=None, init=False, compare=False
+    )
     _pool: Optional[Any] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -167,12 +183,24 @@ class ParallelSweep:
         # (which is why CPython made spawn the macOS default), and spawn
         # would break closure runners.  Everywhere but Linux, degrade to the
         # serial path — same results, just without the fan-out.
-        if (
-            workers == 1
-            or sys.platform != "linux"
+        platform_blocked = (
+            sys.platform != "linux"
             or "fork" not in multiprocessing.get_all_start_methods()
-        ):
+        )
+        if workers == 1 or platform_blocked:
+            if platform_blocked and workers > 1:
+                # Parallelism was requested but the platform cannot provide
+                # it — say so, instead of silently running 1/N as fast.
+                logger.warning(
+                    "ParallelSweep: fork-based parallelism unavailable on "
+                    "this platform (%s); degrading %d requested workers to "
+                    "the serial path. Results are identical, only slower.",
+                    sys.platform,
+                    workers,
+                )
+            self.effective_processes = 1
             return [runner(value, seed) for _, value, seed in tasks]
+        self.effective_processes = workers
         pool = self._ensure_pool(workers, runner)
         chunk = self.chunk_size
         if chunk is None:

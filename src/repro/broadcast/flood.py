@@ -88,12 +88,43 @@ class FloodCohortKernel(CohortKernel):
 
     node_type = FloodNode
     kind = FloodNode.MESSAGE_KIND
+    # Flooding consumes no randomness at all — no coin flips, no sampling —
+    # so shard workers can process cohorts without any shared RNG stream.
+    rng_free = True
+    # Forward to every neighbour except the delivering sender: the one
+    # fan-out shape shard workers implement natively.
+    shard_fanout = "exclude_sender"
 
     def _node_has_seen(self, node: FloodNode, payload_id: Hashable) -> bool:
         return payload_id in node._seen
 
     def _mark_node_seen(self, node: FloodNode, payload_id: Hashable) -> None:
         node._seen.add(payload_id)
+
+    def prior_seen_ids(self, payload_id: Hashable):
+        # Every flood code path writes ``_seen`` and ``mark_delivered``
+        # together, so ``_seen`` holders are a subset of the delivered
+        # index; filtering that (usually tiny) index through the node
+        # state keeps the answer exact even if a caller marked a node
+        # delivered out of band.
+        nodes = self.simulator._nodes
+        entries = self.simulator.metrics._deliveries_by_payload.get(
+            payload_id, ()
+        )
+        return [
+            node_id
+            for _, node_id in entries
+            if payload_id in nodes[node_id]._seen
+        ]
+
+    def shard_node_sizes(self) -> np.ndarray:
+        nodes = self.simulator._nodes
+        return np.fromiter(
+            (nodes[node_id].payload_size_bytes
+             for node_id in self._topology.ids),
+            dtype=np.int64,
+            count=self._topology.n,
+        )
 
     def _fan_out(
         self,
@@ -163,6 +194,7 @@ def run_flood(
     seed: Optional[int] = None,
     latency: Optional[LatencyModel] = None,
     engine: str = "event",
+    shards: Optional[int] = None,
 ) -> FloodRunResult:
     """Broadcast one payload with flood-and-prune and report the cost."""
     simulator = Simulator(
@@ -170,6 +202,7 @@ def run_flood(
         latency=latency or ConstantLatency(0.1),
         seed=seed,
         engine=engine,
+        shards=shards,
     )
     simulator.populate(FloodNode)
     origin = simulator.node(source)

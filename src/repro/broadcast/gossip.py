@@ -181,6 +181,7 @@ def run_gossip(
     seed: Optional[int] = None,
     latency: Optional[LatencyModel] = None,
     engine: str = "event",
+    shards: Optional[int] = None,
 ) -> GossipRunResult:
     """Broadcast one payload with gossip and report reach and cost."""
     simulator = Simulator(
@@ -188,6 +189,7 @@ def run_gossip(
         latency=latency or ConstantLatency(0.1),
         seed=seed,
         engine=engine,
+        shards=shards,
     )
     config = config or GossipConfig()
     simulator.populate(lambda node_id: GossipNode(node_id, config))

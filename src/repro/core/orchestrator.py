@@ -95,6 +95,7 @@ class ThreePhaseBroadcast:
         directory: Optional[GroupDirectory] = None,
         conditions: Optional[NetworkConditions] = None,
         engine: str = "event",
+        shards: Optional[int] = None,
     ) -> None:
         self.config = config or ProtocolConfig()
         self.rng = random.Random(seed)
@@ -116,6 +117,7 @@ class ThreePhaseBroadcast:
             seed=None if seed is None else seed + 1,
             conditions=conditions,
             engine=engine,
+            shards=shards,
         )
         # Per-instance counter for auto-generated payload ids: two systems
         # constructed the same way hand out the same id sequence regardless

@@ -207,6 +207,19 @@ class CohortKernel:
     #: The message kind the kernel processes; anything else falls back to
     #: per-item processing.
     kind: str = ""
+    #: Whether the kernel consumes no randomness at all while processing
+    #: cohorts — no protocol coin flips, no per-node sampling.  A shared
+    #: RNG stream cannot be split across processes without changing its
+    #: draw order, so only ``rng_free`` kernels are eligible for the
+    #: sharded engine's multi-process path (:mod:`repro.network.sharded`);
+    #: everything else falls back in-process.
+    rng_free: bool = False
+    #: Shape of the kernel's fan-out, for kernels whose forwarding rule is
+    #: simple enough that a shard worker can run it without node objects.
+    #: ``"exclude_sender"`` = forward to every neighbour except the
+    #: delivering sender (flood); ``None`` (the default) means the fan-out
+    #: needs the kernel itself, disqualifying the multi-process path.
+    shard_fanout: Optional[str] = None
 
     def __init__(self, simulator) -> None:
         self.simulator = simulator
@@ -290,6 +303,30 @@ class CohortKernel:
     def _mark_node_seen(self, node, payload_id: Hashable) -> None:
         """Mirror a fresh reception into the node's own state."""
         raise NotImplementedError
+
+    def prior_seen_ids(self, payload_id: Hashable):
+        """Node ids that already hold ``payload_id``, or ``None``.
+
+        The sharded engine's replacement for consulting every candidate
+        node's state through :meth:`_node_has_seen`: a kernel whose node
+        state is exactly mirrored by the metrics' delivery index (flood's
+        ``_seen`` is written iff ``mark_delivered`` runs) returns that
+        index's id set, letting worker processes seed a bitmap once per
+        run instead of calling back into Python per candidate.  ``None``
+        means no such mirror exists and the config is ineligible for the
+        multi-process path.
+        """
+        return None
+
+    def shard_node_sizes(self) -> Optional[np.ndarray]:
+        """Per-node payload sizes in CSR index order, or ``None``.
+
+        Shard workers build forwarded messages' byte sizes from this array
+        instead of touching node objects (``node_sizes[forwarder]`` must
+        equal the ``size_bytes`` the node would put on the wire).  ``None``
+        (the default) disqualifies the multi-process path.
+        """
+        return None
 
     def _fan_out(
         self,

@@ -44,9 +44,28 @@ from typing import (
     Tuple,
 )
 
-from repro.network.message import Observation
+from repro.network.message import Message, Observation
 
 FirstObservationHook = Callable[[Observation], None]
+
+
+class _AdoptedCohort:
+    """One same-time delivery cohort adopted from sharded worker processes.
+
+    Chunks are per-(worker, payload) struct-of-arrays slices — integer node
+    indexes into ``ids``, plus the cohort-wide delivery ranks that define
+    the event engine's delivery order.  Kept unmerged and unmaterialised
+    until a reader needs log entries; the counting surface is served from
+    the store's delta counters instead (see
+    :meth:`ObservationStore.adopt_cohort`).
+    """
+
+    __slots__ = ("time", "chunks", "ids")
+
+    def __init__(self, time, chunks, ids) -> None:
+        self.time = time
+        self.chunks = chunks
+        self.ids = ids
 
 
 class ObservationStore:
@@ -79,6 +98,9 @@ class ObservationStore:
         "_first_by_receiver_kind",
         "_first_hooks",
         "_bytes_total",
+        "_delta_payload",
+        "_delta_kind",
+        "_delta_pair",
     )
 
     def __init__(self) -> None:
@@ -107,6 +129,14 @@ class ObservationStore:
             Tuple[Hashable, str], List[FirstObservationHook]
         ] = {}
         self._bytes_total = 0
+        # Adopted-cohort delta counters: deliveries accepted through
+        # adopt_cohort() whose position-index entries have not been
+        # materialised yet.  Counting queries add these to the index-list
+        # lengths; _flush() converts them into real positions and clears
+        # them.  Empty (and cost-free) unless the sharded engine ran.
+        self._delta_payload: Dict[Hashable, int] = {}
+        self._delta_kind: Dict[str, int] = {}
+        self._delta_pair: Dict[Tuple[Hashable, str], int] = {}
 
     # ------------------------------------------------------------------
     # Writing
@@ -175,6 +205,11 @@ class ObservationStore:
         Returns the position of the first appended observation.
         """
         size = len(receivers)
+        if self._delta_pair:
+            # Unflushed adopted cohorts have no position-list entries yet;
+            # materialise them first so this batch's eagerly-extended
+            # positions stay sorted after them.
+            self._flush()
         start = self._count
         if size == 0:
             return start
@@ -199,6 +234,48 @@ class ObservationStore:
                 hook(self._log[start])
         return start
 
+    def adopt_cohort(self, time: float, chunks, ids) -> None:
+        """Adopt one same-time delivery cohort from sharded workers.
+
+        The sharded engine's write path (:mod:`repro.network.sharded`).
+        ``chunks`` is a list of ``(ranks, receivers, senders, payload_id,
+        kind, sizes)`` tuples — one per (worker, payload) slice of the
+        cohort — where ``ranks`` are the cohort-wide delivery ranks (the
+        event engine's delivery order at this time), ``receivers``/
+        ``senders`` are integer positions into the ``ids`` array of node
+        identifiers, and ``sizes`` is either a per-delivery array or one
+        shared ``int``.  Cohorts must be adopted in ascending time order,
+        after everything already recorded.
+
+        Only the O(1) counting surface is updated here — the logical
+        length, byte total and the per-payload/kind/pair delta counters.
+        Merging the chunks by rank, resolving indexes to node ids and
+        building :class:`Observation` entries all wait until a reader
+        needs log entries (:meth:`_flush`), which a pure-counting
+        benchmark run never does.
+        """
+        total = 0
+        delta_payload = self._delta_payload
+        delta_kind = self._delta_kind
+        delta_pair = self._delta_pair
+        for ranks, _receivers, _senders, payload_id, kind, sizes in chunks:
+            size = len(ranks)
+            if size == 0:
+                continue
+            total += size
+            pair = (payload_id, kind)
+            delta_payload[payload_id] = delta_payload.get(payload_id, 0) + size
+            delta_kind[kind] = delta_kind.get(kind, 0) + size
+            delta_pair[pair] = delta_pair.get(pair, 0) + size
+            if isinstance(sizes, int):
+                self._bytes_total += sizes * size
+            else:
+                self._bytes_total += int(sizes.sum())
+        if total == 0:
+            return
+        self._count += total
+        self._pending.append(_AdoptedCohort(time, chunks, ids))
+
     @property
     def has_pending_first_hooks(self) -> bool:
         """Whether any :meth:`on_first` hook is still waiting to fire."""
@@ -212,9 +289,13 @@ class ObservationStore:
         self._pending = []
         log = self._log
         by_receiver = self._by_receiver
-        for time, receivers, senders, messages, payload_id, kind, direct in (
-            pending
-        ):
+        for entry in pending:
+            if entry.__class__ is _AdoptedCohort:
+                self._flush_adopted(entry)
+                continue
+            time, receivers, senders, messages, payload_id, kind, direct = (
+                entry
+            )
             position = len(log)
             first_table = self._first_by_receiver[payload_id]
             first_kind_table = self._first_by_receiver_kind[
@@ -230,6 +311,69 @@ class ObservationStore:
                 if receiver not in first_kind_table:
                     first_kind_table[receiver] = position
                 position += 1
+        if self._delta_pair:
+            self._delta_payload.clear()
+            self._delta_kind.clear()
+            self._delta_pair.clear()
+
+    def _flush_adopted(self, cohort: _AdoptedCohort) -> None:
+        """Merge one adopted cohort's chunks by rank into the log.
+
+        Converts the delta-counted deliveries into real log entries: the
+        chunks are interleaved back into the event engine's delivery order
+        (ascending rank), indexes are resolved against the cohort's node-id
+        array, and every position index the delta counters stood in for is
+        extended.  Messages are shared per chunk — the digest surface
+        (kind, payload, size) is identical for every delivery of a chunk,
+        matching the batched engine's one-message-per-sender sharing.
+        """
+        time = cohort.time
+        ids = cohort.ids
+        chunks = cohort.chunks
+        merged: List[tuple] = []
+        for ranks, receivers, senders, payload_id, kind, sizes in chunks:
+            if len(ranks) == 0:
+                continue
+            receiver_ids = ids[receivers]
+            sender_ids = ids[senders]
+            if isinstance(sizes, int):
+                message = Message(
+                    kind=kind, payload_id=payload_id, size_bytes=sizes
+                )
+                messages = [message] * len(ranks)
+            else:
+                messages = [
+                    Message(kind=kind, payload_id=payload_id,
+                            size_bytes=int(size))
+                    for size in sizes
+                ]
+            merged.extend(
+                zip(ranks.tolist(), receiver_ids, sender_ids, messages)
+            )
+        merged.sort(key=lambda item: item[0])
+        log = self._log
+        by_receiver = self._by_receiver
+        by_payload = self._by_payload
+        by_kind = self._by_kind
+        by_pair = self._by_payload_kind
+        first_by_receiver = self._first_by_receiver
+        first_by_receiver_kind = self._first_by_receiver_kind
+        position = len(log)
+        for _rank, receiver, sender, message in merged:
+            payload_id = message.payload_id
+            kind = message.kind
+            log.append(Observation(time, receiver, sender, message, False))
+            by_payload[payload_id].append(position)
+            by_kind[kind].append(position)
+            by_pair[(payload_id, kind)].append(position)
+            by_receiver[receiver].append(position)
+            first_table = first_by_receiver[payload_id]
+            if receiver not in first_table:
+                first_table[receiver] = position
+            first_kind_table = first_by_receiver_kind[(payload_id, kind)]
+            if receiver not in first_kind_table:
+                first_kind_table[receiver] = position
+            position += 1
 
     def on_first(
         self, payload_id: Hashable, kind: str, hook: FirstObservationHook
@@ -252,10 +396,10 @@ class ObservationStore:
         """
         pair = (payload_id, kind)
         existing = self._by_payload_kind.get(pair)
-        if existing:
+        if existing or self._delta_pair.get(pair):
             if self._pending:
                 self._flush()
-            hook(self._log[existing[0]])
+            hook(self._log[self._by_payload_kind[pair][0]])
             return lambda: None
 
         def cancel() -> None:
@@ -289,18 +433,32 @@ class ObservationStore:
         if kind is None and payload_id is None:
             return self._count
         if payload_id is None:
-            return len(self._by_kind.get(kind, ()))
+            return len(self._by_kind.get(kind, ())) + self._delta_kind.get(
+                kind, 0
+            )
         if kind is None:
-            return len(self._by_payload.get(payload_id, ()))
-        return len(self._by_payload_kind.get((payload_id, kind), ()))
+            return len(
+                self._by_payload.get(payload_id, ())
+            ) + self._delta_payload.get(payload_id, 0)
+        pair = (payload_id, kind)
+        return len(
+            self._by_payload_kind.get(pair, ())
+        ) + self._delta_pair.get(pair, 0)
 
     def kind_counts(self) -> Dict[str, int]:
         """Delivery counts broken down by message kind."""
-        return {kind: len(positions) for kind, positions in self._by_kind.items()}
+        counts = {
+            kind: len(positions) for kind, positions in self._by_kind.items()
+        }
+        for kind, delta in self._delta_kind.items():
+            counts[kind] = counts.get(kind, 0) + delta
+        return counts
 
     def payload_count(self) -> int:
         """Number of distinct payload ids seen so far."""
-        return len(self._by_payload)
+        if not self._delta_payload:
+            return len(self._by_payload)
+        return len(self._by_payload.keys() | self._delta_payload.keys())
 
     def bytes_total(self) -> int:
         """Total accounted traffic volume in bytes."""
@@ -425,10 +583,9 @@ class ObservationStore:
             return self.count(payload_id=payload_id)
         unique = dict.fromkeys(kinds)
         if payload_id is None:
-            return sum(len(self._by_kind.get(kind, ())) for kind in unique)
+            return sum(self.count(kind=kind) for kind in unique)
         return sum(
-            len(self._by_payload_kind.get((payload_id, kind), ()))
-            for kind in unique
+            self.count(kind=kind, payload_id=payload_id) for kind in unique
         )
 
     def first_observations(

@@ -1,0 +1,727 @@
+"""Sharded multi-process delivery engine — conservative time windows.
+
+The third engine behind ``Simulator(engine="sharded")``: the overlay is
+partitioned across N worker processes by graph cut
+(:func:`repro.network.topology.bfs_partition`), each worker runs the
+protocol's cohort kernel over the deliveries *its* nodes receive, and
+cross-shard deliveries are exchanged between windows.  The synchronisation
+is conservative PDES: with a constant link delay Δ every delivery emitted
+while processing window time ``T`` lands at exactly ``T + Δ``, so a window
+can be processed to completion before any of its fan-out is due — the
+lookahead is the (minimum = only) cross-shard link latency, lower-bounded
+by construction.
+
+Exactness, not approximation.  The sharded engine must be seed-for-seed
+identical to the event and batched engines, so the multi-process path only
+runs for configurations where that can be guaranteed and *everything else
+falls back in-process* to :func:`repro.network.batched.run_batched` (which
+is itself exact).  Eligibility requires:
+
+* ``fork`` start method (workers inherit the parent's CSR topology, churn
+  masks and partition as copy-on-write pages — nothing is pickled at
+  startup);
+* a kernel that declares ``rng_free`` (no protocol randomness — a shared
+  ``random.Random`` stream cannot be split across processes without
+  reordering its draws) and the ``"exclude_sender"`` fan-out shape plus
+  per-node payload sizes (:meth:`CohortKernel.shard_node_sizes`), so the
+  worker can run the fan-out without calling back into node objects;
+* a constant-delay latency model with zero loss and zero jitter (loss and
+  jitter consume the dedicated link RNG per send in global send order,
+  which is exactly the cross-process ordering problem again);
+* no ``until`` bound, no pending first-observation hooks, and an event
+  queue holding nothing but non-direct deliveries of the kernel's kind
+  between known endpoints — timers (churn schedules, protocol phases) may
+  fire between cohorts and observe global state, so any timer disables the
+  split;
+* a kernel that can mirror prior per-node payload state as an id set
+  (:meth:`CohortKernel.prior_seen_ids`), so workers seed a seen-bitmap
+  once instead of consulting node objects per candidate.
+
+Ordering is reproduced through explicit *delivery ranks*.  Every delivery
+carries an ``int64`` rank; initial queue entries keep their heap sequence
+numbers, and each window's emissions are ranked by a parent-side merge:
+workers report per fresh node the triggering delivery's rank and the
+number of surviving forwards, the parent argsorts the triggers globally
+(across shards and payloads), prefix-sums the counts into contiguous rank
+blocks, and hands each worker its block bases.  Because the batched engine
+reserves sequence ranges in exactly ascending trigger order, ranks are
+order-isomorphic to the event engine's sequence numbers — within a node's
+block the forwards sit in CSR (= ``neighbours_of``) order, and merging all
+chunks of a window by rank reproduces the event engine's log order
+exactly.  The observation store adopts each window as an unmerged,
+delta-counted cohort (:meth:`ObservationStore.adopt_cohort`); the rank
+merge and ``Observation`` materialisation are deferred until a reader
+actually needs log entries, which a pure-counting benchmark never does.
+
+The per-shard RNG derivation the design reserves for future kernels that
+*do* consume randomness (derive one stream per (seed, shard, window) so a
+worker's draws are independent of every other worker's schedule) is
+provided as :func:`shard_rng`; the currently eligible kernels are
+``rng_free`` and never call it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import sys
+import traceback
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.network.events import Event
+from repro.network.message import Message
+from repro.network.topology import bfs_partition
+
+#: Cap on the *default* worker count (``shards=None``); explicit shard
+#: counts are honoured up to the node count.
+MAX_DEFAULT_SHARDS = 8
+
+#: Key under which the (shards, nodes, edges, assignment) partition is
+#: cached on ``graph.graph``; popped by
+#: ``Simulator.invalidate_topology_caches`` (by the same literal).
+PARTITION_CACHE_KEY = "repro_sharded_partition"
+
+
+def shard_rng(
+    seed: Optional[int], shard: int, window: int
+) -> random.Random:
+    """A deterministic RNG stream for one (shard, window) pair.
+
+    The extension point for kernels that consume randomness: deriving the
+    stream from ``(seed, shard id, window index)`` makes a worker's draws
+    a pure function of its own schedule, independent of how the other
+    shards interleave.  The currently eligible kernels are ``rng_free``
+    and never draw, so this is documented API for future kernels rather
+    than a hot path.
+    """
+    base = 0 if seed is None else seed
+    return random.Random((base * 1_000_003 + shard) * 1_000_003 + window)
+
+
+def default_shard_count(node_count: int) -> int:
+    """The worker count used when ``Simulator(shards=None)``."""
+    cpus = os.cpu_count() or 1
+    return max(2, min(MAX_DEFAULT_SHARDS, cpus, node_count))
+
+
+def shard_assignment(graph, topology, shards: int) -> np.ndarray:
+    """CSR-indexed shard owner of every node, cached on the graph.
+
+    Built from :func:`bfs_partition` (contiguous BFS blocks keep most
+    overlay edges inside one shard) and cached like the CSR adjacency so
+    the benchmark repeat loop pays the partition walk once per overlay.
+    """
+    cached = graph.graph.get(PARTITION_CACHE_KEY)
+    if (
+        cached is not None
+        and cached[0] == shards
+        and cached[1] == graph.number_of_nodes()
+        and cached[2] == graph.number_of_edges()
+    ):
+        return cached[3]
+    blocks = bfs_partition(graph, shards)
+    assignment = np.empty(topology.n, dtype=np.int32)
+    index = topology.index
+    for shard, block in enumerate(blocks):
+        assignment[[index[node] for node in block]] = shard
+    graph.graph[PARTITION_CACHE_KEY] = (
+        shards, topology.n, graph.number_of_edges(), assignment
+    )
+    return assignment
+
+
+def try_run_sharded(simulator, kernel, until, max_events) -> Optional[float]:
+    """Run the simulation across worker processes, or decline.
+
+    Returns the end time on success and ``None`` when the configuration
+    cannot be split exactly (the caller then falls back in-process to
+    ``run_batched``, which is behaviourally identical).  All eligibility
+    checks happen before any state is consumed, so declining is free of
+    side effects beyond ``_start_nodes``.
+    """
+    if sys.platform != "linux":
+        return None
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    if until is not None:
+        return None
+    if not kernel.rng_free or kernel.shard_fanout != "exclude_sender":
+        return None
+    delay = simulator.latency.constant_delay()
+    if delay is None:
+        return None
+    if simulator._loss_probability > 0.0 or simulator._jitter > 0.0:
+        return None
+    if simulator.store._first_hooks:
+        return None
+    if simulator._blocks is not None and len(simulator._blocks):
+        return None
+    node_count = simulator.graph.number_of_nodes()
+    shards = simulator._shards
+    if shards is None:
+        shards = default_shard_count(node_count)
+    shards = min(shards, node_count)
+    if shards < 2:
+        return None
+
+    simulator._start_nodes()
+
+    # Non-destructive queue scan: anything but a known-endpoint overlay
+    # delivery of the kernel's kind declines the whole run.
+    kernel.refresh()
+    topology = kernel._topology
+    index = topology.index
+    kind = kernel.kind
+    payload_set = set()
+    for entry in simulator._queue._heap:
+        item = entry[2]
+        if item.__class__ is Event:
+            if item.cancelled:
+                continue
+            return None
+        if item.__class__ is not tuple or item[3] or item[2].kind != kind:
+            return None
+        if item[0] not in index or item[1] not in index:
+            return None
+        payload_set.add(item[2].payload_id)
+
+    node_sizes = kernel.shard_node_sizes()
+    if node_sizes is None:
+        return None
+    priors: Dict[Hashable, np.ndarray] = {}
+    for payload_id in payload_set:
+        prior = kernel.prior_seen_ids(payload_id)
+        if prior is None:
+            return None
+        priors[payload_id] = np.fromiter(
+            (index[node_id] for node_id in prior),
+            dtype=np.int64,
+            count=len(prior),
+        )
+
+    queue = simulator._queue
+    entries: List[tuple] = []
+    while True:
+        entry = queue.pop_entry()
+        if entry is None:
+            break
+        entries.append(entry)
+    if not entries:
+        return simulator._now
+
+    return _run_windows(
+        simulator, kernel, topology, entries, priors, node_sizes,
+        shards, delay, max_events,
+    )
+
+
+def _run_windows(
+    simulator, kernel, topology, entries, priors, node_sizes,
+    shards, delay, max_events,
+) -> float:
+    """The parent-side window loop (workers already eligible)."""
+    index = topology.index
+    shard_of = shard_assignment(simulator.graph, topology, shards)
+
+    # Route the initial queue entries: delivery-time churn drops are
+    # applied up front (churn is static during a sharded run — timers are
+    # ineligible — so the outcome per entry is already decided), the rest
+    # is grouped by (time, owner shard, payload).  ``entries`` arrive in
+    # (time, sequence) order from the heap pops.
+    offline = simulator._offline
+    severed = simulator._severed
+    payload_list: List[Hashable] = []
+    payload_index: Dict[Hashable, int] = {}
+    drops_at: Dict[float, int] = {}
+    initial_raw: Dict[float, List[tuple]] = {}
+    groups: Dict[tuple, List[List]] = {}
+    for time, seq, item in entries:
+        receiver, sender, message, _direct = item
+        if offline and receiver in offline:
+            simulator._churn_dropped += 1
+            drops_at[time] = drops_at.get(time, 0) + 1
+            continue
+        if severed and frozenset((sender, receiver)) in severed:
+            simulator._churn_dropped += 1
+            drops_at[time] = drops_at.get(time, 0) + 1
+            continue
+        initial_raw.setdefault(time, []).append((time, item))
+        pidx = payload_index.get(message.payload_id)
+        if pidx is None:
+            pidx = len(payload_list)
+            payload_index[message.payload_id] = pidx
+            payload_list.append(message.payload_id)
+        r = index[receiver]
+        group = groups.get((time, int(shard_of[r]), pidx))
+        if group is None:
+            group = [[], [], [], []]
+            groups[(time, int(shard_of[r]), pidx)] = group
+        group[0].append(seq)
+        group[1].append(r)
+        group[2].append(index[sender])
+        group[3].append(message.size_bytes)
+    for payload_id in priors:
+        if payload_id not in payload_index:
+            payload_index[payload_id] = len(payload_list)
+            payload_list.append(payload_id)
+
+    rank_base = max(seq for _, seq, _ in entries) + 1
+    size_const = (
+        int(node_sizes[0])
+        if node_sizes.size and bool((node_sizes == node_sizes[0]).all())
+        else None
+    )
+    routed: Dict[tuple, List[tuple]] = {}
+    active = set(drops_at)
+    for (time, owner, pidx), group in groups.items():
+        sizes = np.asarray(group[3], dtype=np.int64)
+        first = group[3][0]
+        chunk_sizes = first if all(s == first for s in group[3]) else sizes
+        routed.setdefault((time, owner), []).append((
+            pidx,
+            np.asarray(group[0], dtype=np.int64),
+            np.asarray(group[1], dtype=np.int32),
+            np.asarray(group[2], dtype=np.int32),
+            chunk_sizes,
+        ))
+        active.add(time)
+
+    prior_arrays = [
+        priors[payload_list[pidx]] for pidx in range(len(payload_list))
+    ]
+    static = {
+        "shards": shards,
+        "n": topology.n,
+        "indptr": topology.indptr,
+        "indices": topology.indices.astype(np.int32),
+        "shard_of": shard_of,
+        "node_sizes": node_sizes,
+        "size_const": size_const,
+        "has_churn": kernel._has_churn,
+        "online": kernel._online,
+        "edge_ok": kernel._edge_ok,
+        "priors": prior_arrays,
+        "delay": delay,
+    }
+
+    ctx = multiprocessing.get_context("fork")
+    conns = []
+    procs = []
+    try:
+        for shard in range(shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, shard, static),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
+        executed = 0
+        event_cap = float("inf") if max_events is None else max_events
+        next_rank = rank_base
+        done_times = set()
+        stopped_early = False
+        while active:
+            time = min(active)
+            if executed >= event_cap:
+                stopped_early = True
+                break
+            active.discard(time)
+            done_times.add(time)
+            executed += drops_at.pop(time, 0)
+            simulator._now = max(simulator._now, time)
+
+            for shard, conn in enumerate(conns):
+                conn.send(("advance", time, routed.pop((time, shard), [])))
+            trigger_chunks = []
+            count_chunks = []
+            lengths = []
+            target_time = time + delay
+            for conn in conns:
+                _, t_time, triggers, counts, processed = _recv(conn)
+                target_time = t_time
+                trigger_chunks.append(triggers)
+                count_chunks.append(counts)
+                lengths.append(len(triggers))
+                executed += processed
+            all_triggers = np.concatenate(trigger_chunks)
+            all_counts = np.concatenate(count_chunks)
+            bases = np.empty(len(all_triggers), dtype=np.int64)
+            if len(all_triggers):
+                order = np.argsort(all_triggers)
+                sorted_counts = all_counts[order]
+                bases[order] = (
+                    next_rank + np.cumsum(sorted_counts) - sorted_counts
+                )
+                next_rank += int(all_counts.sum())
+            start = 0
+            for length, conn in zip(lengths, conns):
+                conn.send(("bases", bases[start:start + length]))
+                start += length
+            emitted = int(all_counts.sum())
+            for conn in conns:
+                outbox = _recv(conn)
+                for dest, chunks in outbox.items():
+                    routed.setdefault((target_time, dest), []).extend(
+                        (pidx, ranks, targets, senders, None)
+                        for pidx, ranks, targets, senders in chunks
+                    )
+            if emitted:
+                active.add(target_time)
+
+        for conn in conns:
+            conn.send(("finish",))
+        results = [_recv(conn) for conn in conns]
+        for proc in procs:
+            proc.join(timeout=30)
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+
+    _adopt_results(
+        simulator, kernel, topology, payload_list, results
+    )
+    if stopped_early:
+        _requeue_pending(
+            simulator, kernel, topology, payload_list, node_sizes,
+            size_const, initial_raw, done_times, routed, results,
+        )
+    return simulator._now
+
+
+def _recv(conn):
+    """Receive one worker message, surfacing worker tracebacks."""
+    message = conn.recv()
+    if isinstance(message, tuple) and message and message[0] == "error":
+        raise RuntimeError(
+            f"sharded worker failed:\n{message[1]}"
+        )
+    return message
+
+
+def _adopt_results(simulator, kernel, topology, payload_list, results):
+    """Replay the workers' per-window records into store/metrics/nodes."""
+    records = []
+    for worker_records, _inbox in results:
+        records.extend(worker_records)
+    records.sort(key=lambda record: record[0])
+    ids_array = topology.ids_array
+    store = simulator.store
+    metrics = simulator.metrics
+    nodes = simulator._nodes
+    kind = kernel.kind
+    position = 0
+    total = len(records)
+    while position < total:
+        time = records[position][0]
+        end = position
+        chunks = []
+        while end < total and records[end][0] == time:
+            _, pidx, ranks, receivers, senders, sizes, _fresh = records[end]
+            chunks.append(
+                (ranks, receivers, senders, payload_list[pidx], kind, sizes)
+            )
+            end += 1
+        store.adopt_cohort(time, chunks, ids_array)
+        for record in records[position:end]:
+            _, pidx, _, _, _, _, fresh = record
+            if not len(fresh):
+                continue
+            payload_id = payload_list[pidx]
+            fresh_ids = ids_array[fresh].tolist()
+            metrics.record_delivery_batch(payload_id, time, fresh_ids)
+            seen = kernel._seen.get(payload_id)
+            if seen is None:
+                seen = np.zeros(topology.n, dtype=bool)
+                kernel._seen[payload_id] = seen
+            seen[fresh] = True
+            mark = kernel._mark_node_seen
+            for node_id in fresh_ids:
+                mark(nodes[node_id], payload_id)
+        position = end
+
+
+def _requeue_pending(
+    simulator, kernel, topology, payload_list, node_sizes, size_const,
+    initial_raw, done_times, routed, results,
+):
+    """Put unprocessed work back on the heap after a ``max_events`` stop.
+
+    Initial entries whose window never ran are re-pushed verbatim (their
+    original ``Message`` objects survive); in-flight emissions — chunks the
+    parent routed but never dispatched plus each worker's leftover inbox —
+    are materialised into delivery tuples and pushed in (time, rank)
+    order, so a follow-up ``run`` on any engine resumes exactly.
+    """
+    push_item = simulator._queue.push_item
+    for time in sorted(initial_raw):
+        if time in done_times:
+            continue
+        for push_time, item in initial_raw[time]:
+            push_item(push_time, item)
+
+    leftovers = []
+    for (time, _owner), chunk_list in routed.items():
+        for pidx, ranks, targets, senders, sizes in chunk_list:
+            leftovers.append((time, pidx, ranks, targets, senders, sizes))
+    for _records, inbox in results:
+        for time, by_payload in inbox.items():
+            for pidx, chunk_list in by_payload.items():
+                for ranks, targets, senders, sizes in chunk_list:
+                    leftovers.append(
+                        (time, pidx, ranks, targets, senders, sizes)
+                    )
+    if not leftovers:
+        return
+    ids = topology.ids
+    kind = kernel.kind
+    rows = []
+    for time, pidx, ranks, targets, senders, sizes in leftovers:
+        payload_id = payload_list[pidx]
+        if sizes is None:
+            shared = size_const
+        elif isinstance(sizes, int):
+            shared = sizes
+        else:
+            shared = None
+        if shared is not None:
+            message = Message(
+                kind=kind, payload_id=payload_id, size_bytes=shared
+            )
+            row_sizes = [message] * len(ranks)
+        else:
+            if not isinstance(sizes, np.ndarray):
+                sizes = node_sizes[senders]
+            row_sizes = [
+                Message(kind=kind, payload_id=payload_id, size_bytes=int(s))
+                for s in sizes
+            ]
+        rows.extend(
+            zip(
+                [time] * len(ranks),
+                ranks.tolist(),
+                targets.tolist(),
+                senders.tolist(),
+                row_sizes,
+            )
+        )
+    rows.sort(key=lambda row: (row[0], row[1]))
+    push_item = simulator._queue.push_item
+    for time, _rank, target, sender, message in rows:
+        push_item(time, (ids[target], ids[sender], message, False))
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(conn, me, static):
+    """One shard worker: process windows over the nodes this shard owns.
+
+    State arrives through fork (copy-on-write), commands through the pipe:
+    ``("advance", time, routed_chunks)`` processes one window and runs the
+    three-step rank handshake; ``("finish",)`` ships the accumulated
+    observation records plus any unprocessed inbox back to the parent.
+    """
+    try:
+        shards = static["shards"]
+        indptr = static["indptr"]
+        indices = static["indices"]
+        shard_of = static["shard_of"]
+        node_sizes = static["node_sizes"]
+        size_const = static["size_const"]
+        has_churn = static["has_churn"]
+        online = static["online"]
+        edge_ok = static["edge_ok"]
+        delay = static["delay"]
+        n = static["n"]
+        seen = []
+        for prior in static["priors"]:
+            bitmap = np.zeros(n, dtype=bool)
+            if len(prior):
+                bitmap[prior] = True
+            seen.append(bitmap)
+
+        inbox: Dict[float, Dict[int, list]] = {}
+        records: List[tuple] = []
+        while True:
+            message = conn.recv()
+            if message[0] == "finish":
+                conn.send((records, inbox))
+                conn.close()
+                return
+            _, time, routed = message
+            local = inbox.pop(time, {})
+            for pidx, ranks, targets, senders, sizes in routed:
+                local.setdefault(pidx, []).append(
+                    (ranks, targets, senders, sizes)
+                )
+
+            fan_outs = []
+            trigger_chunks = []
+            count_chunks = []
+            processed = 0
+            for pidx in sorted(local):
+                ranks, targets, senders, sizes = _merge_chunks(
+                    local[pidx], node_sizes, size_const
+                )
+                processed += len(ranks)
+                bitmap = seen[pidx]
+
+                # First reception per node: among candidate deliveries to
+                # not-yet-seen nodes, the minimum-rank delivery per target
+                # wins (lexsort on the candidates only — the cohort itself
+                # stays unsorted, ranks put the log in order at flush).
+                candidate = ~bitmap[targets]
+                c_targets = targets[candidate]
+                if len(c_targets):
+                    c_ranks = ranks[candidate]
+                    c_senders = senders[candidate]
+                    order = np.lexsort((c_ranks, c_targets))
+                    sorted_targets = c_targets[order]
+                    first = np.ones(len(order), dtype=bool)
+                    first[1:] = sorted_targets[1:] != sorted_targets[:-1]
+                    pick = order[first]
+                    fresh = c_targets[pick]
+                    excludes = c_senders[pick]
+                    triggers = c_ranks[pick]
+                    bitmap[fresh] = True
+                else:
+                    fresh = c_targets
+                    excludes = fresh
+                    triggers = np.empty(0, dtype=np.int64)
+                records.append((
+                    time, pidx, ranks, targets, senders, sizes,
+                    fresh.astype(np.int32),
+                ))
+                if not len(fresh):
+                    continue
+
+                # The exclude_sender fan-out, exactly as the batched
+                # kernel's CSR ramp: every neighbour of each fresh node
+                # except the delivering sender, churn-masked.
+                starts = indptr[fresh]
+                counts = indptr[fresh + 1] - starts
+                total = int(counts.sum())
+                if total == 0:
+                    continue
+                offsets = np.arange(total) - np.repeat(
+                    np.cumsum(counts) - counts, counts
+                )
+                flat = np.repeat(starts, counts) + offsets
+                em_targets = indices[flat]
+                em_senders = np.repeat(fresh, counts).astype(np.int32)
+                keep = em_targets != np.repeat(excludes, counts)
+                if has_churn:
+                    keep &= online[em_targets]
+                    keep &= edge_ok[flat]
+                block_of = np.repeat(
+                    np.arange(len(fresh)), counts
+                )[keep]
+                kept_counts = np.bincount(
+                    block_of, minlength=len(fresh)
+                ).astype(np.int64)
+                trigger_chunks.append(triggers)
+                count_chunks.append(kept_counts)
+                fan_outs.append(
+                    (pidx, kept_counts, em_targets[keep], em_senders[keep])
+                )
+
+            target_time = time + delay
+            if trigger_chunks:
+                all_triggers = np.concatenate(trigger_chunks)
+                all_counts = np.concatenate(count_chunks)
+            else:
+                all_triggers = np.empty(0, dtype=np.int64)
+                all_counts = np.empty(0, dtype=np.int64)
+            conn.send(
+                ("blocks", target_time, all_triggers, all_counts, processed)
+            )
+            _, bases = conn.recv()
+
+            outbox: Dict[int, list] = {}
+            offset = 0
+            for pidx, kept_counts, em_targets, em_senders in fan_outs:
+                block_bases = bases[offset:offset + len(kept_counts)]
+                offset += len(kept_counts)
+                total = len(em_targets)
+                if total == 0:
+                    continue
+                ramp = np.arange(total) - np.repeat(
+                    np.cumsum(kept_counts) - kept_counts, kept_counts
+                )
+                delivery_ranks = np.repeat(block_bases, kept_counts) + ramp
+                owners = shard_of[em_targets]
+                for dest in range(shards):
+                    mask = owners == dest
+                    if not mask.any():
+                        continue
+                    chunk = (
+                        delivery_ranks[mask],
+                        em_targets[mask],
+                        em_senders[mask],
+                    )
+                    if dest == me:
+                        inbox.setdefault(target_time, {}).setdefault(
+                            pidx, []
+                        ).append(chunk + (None,))
+                    else:
+                        outbox.setdefault(dest, []).append((pidx,) + chunk)
+            conn.send(outbox)
+    except Exception:  # pragma: no cover - surfaced via _recv
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+
+
+def _merge_chunks(chunks, node_sizes, size_const):
+    """Concatenate one payload's delivery chunks for a window.
+
+    ``sizes`` per chunk is an ``int64`` array, a shared ``int``, or
+    ``None`` (emission chunks — the size is the forwarder's payload size).
+    The merged sizes collapse back to one shared ``int`` when every chunk
+    agrees, which keeps the adopted-cohort write path allocation-free for
+    the homogeneous-size presets.
+    """
+    if len(chunks) == 1:
+        ranks, targets, senders, sizes = chunks[0]
+        return ranks, targets, senders, _resolve_sizes(
+            sizes, senders, node_sizes, size_const
+        )
+    ranks = np.concatenate([chunk[0] for chunk in chunks])
+    targets = np.concatenate([chunk[1] for chunk in chunks])
+    senders = np.concatenate([chunk[2] for chunk in chunks])
+    resolved = [
+        _resolve_sizes(chunk[3], chunk[2], node_sizes, size_const)
+        for chunk in chunks
+    ]
+    first = resolved[0]
+    if isinstance(first, int) and all(size == first for size in resolved):
+        return ranks, targets, senders, first
+    arrays = [
+        np.full(len(chunk[0]), size, dtype=np.int64)
+        if isinstance(size, int)
+        else size
+        for chunk, size in zip(chunks, resolved)
+    ]
+    return ranks, targets, senders, np.concatenate(arrays)
+
+
+def _resolve_sizes(sizes, senders, node_sizes, size_const):
+    """One chunk's per-delivery sizes: shared ``int`` where possible."""
+    if sizes is None:
+        if size_const is not None:
+            return size_const
+        return node_sizes[senders]
+    return sizes

@@ -69,7 +69,7 @@ from repro.network.node import Node
 from repro.network.observation_store import ObservationStore
 
 #: The registered delivery engines (see the module docstring).
-ENGINES: Tuple[str, ...] = ("event", "batched")
+ENGINES: Tuple[str, ...] = ("event", "batched", "sharded")
 
 
 class Simulator:
@@ -89,10 +89,17 @@ class Simulator:
             applied to every overlay send; randomness for both comes from a
             dedicated stream (derived from ``seed``), so lossless conditions
             leave protocol RNG consumption untouched.
-        engine: ``"event"`` (per-message loop, the default) or
+        engine: ``"event"`` (per-message loop, the default),
             ``"batched"`` (vectorised cohort kernel where a protocol
-            provides one; behaviourally identical).  Unknown names raise
+            provides one; behaviourally identical) or ``"sharded"``
+            (cohort kernels partitioned over worker processes in
+            conservative time windows; behaviourally identical, falling
+            back in-process whenever the configuration cannot be split —
+            see :mod:`repro.network.sharded`).  Unknown names raise
             ``KeyError`` listing the registered engines.
+        shards: worker-process count for ``engine="sharded"`` (default:
+            the CPU count, at least 2, capped at 8).  Ignored by the
+            other engines; behaviour is shard-count independent.
     """
 
     def __init__(
@@ -102,6 +109,7 @@ class Simulator:
         seed: Optional[int] = None,
         conditions: Optional[NetworkConditions] = None,
         engine: str = "event",
+        shards: Optional[int] = None,
     ) -> None:
         if graph.number_of_nodes() == 0:
             raise ValueError("the overlay graph must not be empty")
@@ -167,7 +175,10 @@ class Simulator:
         self._topology_generation = 0
         self._kernel = None
         self._kernel_resolved = False
-        if engine == "batched":
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be at least 1 when given")
+        self._shards = shards
+        if engine in ("batched", "sharded"):
             from repro.network.batched import BlockBuffer
 
             self._queue.enable_sequence_reservation()
@@ -179,6 +190,11 @@ class Simulator:
     def engine(self) -> str:
         """The delivery engine this simulator runs on."""
         return self._engine
+
+    @property
+    def shards(self) -> Optional[int]:
+        """The requested shard count (``None`` = the engine's default)."""
+        return self._shards
 
     # ------------------------------------------------------------------
     # Node management
@@ -263,9 +279,11 @@ class Simulator:
         self._neighbour_cache.clear()
         self._adjacency.clear()
         self._topology_generation += 1
-        # Same literal as batched.CSR_CACHE_KEY; popped here by name so the
-        # event engine never imports numpy.
+        # Same literals as batched.CSR_CACHE_KEY and
+        # sharded.PARTITION_CACHE_KEY; popped here by name so the event
+        # engine never imports numpy.
         self.graph.graph.pop("repro_csr_topology", None)
+        self.graph.graph.pop("repro_sharded_partition", None)
 
     # ------------------------------------------------------------------
     # Churn: node failures and rejoins
@@ -504,6 +522,18 @@ class Simulator:
             if kernel is not None:
                 from repro.network.batched import run_batched
 
+                return run_batched(self, kernel, until, max_events)
+        elif self._engine == "sharded":
+            kernel = self._resolve_kernel()
+            if kernel is not None:
+                from repro.network.batched import run_batched
+                from repro.network.sharded import try_run_sharded
+
+                end = try_run_sharded(self, kernel, until, max_events)
+                if end is not None:
+                    return end
+                # Configuration not splittable (randomness, timers, ...):
+                # same cohorts, one process — still seed-for-seed identical.
                 return run_batched(self, kernel, until, max_events)
         self._start_nodes()
         executed = 0

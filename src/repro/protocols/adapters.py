@@ -62,6 +62,7 @@ def _build_session(
     seed: Optional[int],
     rng: Optional[random.Random] = None,
     engine: str = "event",
+    shards: Optional[int] = None,
 ) -> ProtocolSession:
     """Session scaffolding shared by the per-broadcast adapters.
 
@@ -76,7 +77,8 @@ def _build_session(
         rng = random.Random(seed)
     latency = conditions.build_latency(rng)
     simulator = Simulator(
-        graph, latency=latency, seed=seed, conditions=conditions, engine=engine
+        graph, latency=latency, seed=seed, conditions=conditions,
+        engine=engine, shards=shards,
     )
     return ProtocolSession(
         protocol=protocol,
@@ -104,8 +106,11 @@ class FloodProtocol(BroadcastProtocol):
         conditions: Optional[NetworkConditions] = None,
         seed: Optional[int] = None,
         engine: str = "event",
+        shards: Optional[int] = None,
     ) -> ProtocolSession:
-        session = _build_session(self, graph, conditions, seed, engine=engine)
+        session = _build_session(
+            self, graph, conditions, seed, engine=engine, shards=shards
+        )
         session.simulator.populate(
             lambda node_id: FloodNode(node_id, self.payload_size_bytes)
         )
@@ -139,8 +144,11 @@ class GossipProtocol(BroadcastProtocol):
         conditions: Optional[NetworkConditions] = None,
         seed: Optional[int] = None,
         engine: str = "event",
+        shards: Optional[int] = None,
     ) -> ProtocolSession:
-        session = _build_session(self, graph, conditions, seed, engine=engine)
+        session = _build_session(
+            self, graph, conditions, seed, engine=engine, shards=shards
+        )
         session.simulator.populate(
             lambda node_id: GossipNode(node_id, self.config)
         )
@@ -174,12 +182,16 @@ class DandelionProtocol(BroadcastProtocol):
         conditions: Optional[NetworkConditions] = None,
         seed: Optional[int] = None,
         engine: str = "event",
+        shards: Optional[int] = None,
     ) -> ProtocolSession:
         # Successors are drawn from the session RNG before the latency model
         # is built — the draw order the historical experiment loop used.
         rng = random.Random(seed)
         successors = assign_stem_successors(graph, rng)
-        session = _build_session(self, graph, conditions, seed, rng=rng, engine=engine)
+        session = _build_session(
+            self, graph, conditions, seed, rng=rng, engine=engine,
+            shards=shards,
+        )
         session.simulator.populate(
             lambda node_id: DandelionNode(node_id, self.config, successors[node_id])
         )
@@ -229,8 +241,11 @@ class AdaptiveDiffusionProtocol(BroadcastProtocol):
         conditions: Optional[NetworkConditions] = None,
         seed: Optional[int] = None,
         engine: str = "event",
+        shards: Optional[int] = None,
     ) -> ProtocolSession:
-        session = _build_session(self, graph, conditions, seed, engine=engine)
+        session = _build_session(
+            self, graph, conditions, seed, engine=engine, shards=shards
+        )
         session.simulator.populate(
             lambda node_id: AdaptiveDiffusionNode(node_id, self.config)
         )
@@ -282,10 +297,12 @@ class ThreePhaseProtocol(BroadcastProtocol):
         conditions: Optional[NetworkConditions] = None,
         seed: Optional[int] = None,
         engine: str = "event",
+        shards: Optional[int] = None,
     ) -> ProtocolSession:
         conditions = conditions if conditions is not None else NetworkConditions()
         system = ThreePhaseBroadcast(
-            graph, self.config, seed=seed, conditions=conditions, engine=engine
+            graph, self.config, seed=seed, conditions=conditions,
+            engine=engine, shards=shards,
         )
         return ProtocolSession(
             protocol=self,

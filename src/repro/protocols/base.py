@@ -143,13 +143,15 @@ class BroadcastProtocol(abc.ABC):
         conditions: Optional[NetworkConditions] = None,
         seed: Optional[int] = None,
         engine: str = "event",
+        shards: Optional[int] = None,
     ) -> ProtocolSession:
         """Create a session for ``graph`` under ``conditions``.
 
         ``engine`` selects the simulator's delivery engine (see
-        :data:`repro.network.simulator.ENGINES`).  Both engines are
-        seed-for-seed identical in every observable, so the choice only
-        affects wall-clock performance.
+        :data:`repro.network.simulator.ENGINES`) and ``shards`` the worker
+        count of the sharded engine (ignored by the others).  All engines
+        are seed-for-seed identical in every observable, so the choice
+        only affects wall-clock performance.
         """
 
     @abc.abstractmethod

@@ -139,6 +139,7 @@ def run_scenario_once(
         # (suspicion mass, expelled members), never across runs.
         adversary=spec.adversary.build(),
         engine=spec.engine,
+        shards=spec.shards,
     )
 
 
@@ -156,6 +157,7 @@ def build_session(
         compiled.conditions,
         seed=spec.seeds.base_seed if seed is None else seed,
         engine=spec.engine,
+        shards=spec.shards,
     )
     if compiled.session_hook is not None:
         compiled.session_hook(session)
@@ -316,6 +318,7 @@ class ScenarioRunner:
         )
         try:
             raw = engine.run(list(range(reps)), _run_repetition)
+            effective = engine.effective_processes or 1
         finally:
             engine.close()
         runs = [
@@ -331,6 +334,11 @@ class ScenarioRunner:
             for key in runs[0]
         }
         aggregate["repetitions"] = float(len(runs))
+        # Execution metadata, not a behavioural metric: lives only in the
+        # aggregate (the digest hashes spec + seeds + runs), so a machine
+        # that silently degraded to the serial path still shows up in
+        # persisted results without perturbing any golden digest.
+        aggregate["effective_processes"] = float(effective)
         return ScenarioResult(
             spec=spec, seeds=seeds, runs=runs, aggregate=aggregate
         )

@@ -357,9 +357,13 @@ class ScenarioSpec:
         faults: correlated fault models applied to every session.
         privacy: which anonymity metrics the run reports.
         engine: simulator delivery engine every session runs on
-            (``"event"`` or ``"batched"``).  Both engines are seed-for-seed
-            identical in every observable, so the choice affects wall-clock
-            time only — run digests are engine-independent.
+            (``"event"``, ``"batched"`` or ``"sharded"``).  All engines are
+            seed-for-seed identical in every observable, so the choice
+            affects wall-clock time only — run digests are
+            engine-independent.
+        shards: worker-process count for ``engine="sharded"`` (``None`` =
+            the engine's default).  Behaviour is shard-count independent,
+            so the field — like ``engine`` — never changes a run digest.
         description: one line for catalogues and the CLI.
         tags: free-form labels (``"paper"``, ``"stress"``, ...).
     """
@@ -376,6 +380,7 @@ class ScenarioSpec:
     faults: Tuple[FaultSpec, ...] = ()
     privacy: PrivacySpec = PrivacySpec()
     engine: str = "event"
+    shards: Optional[int] = None
     description: str = ""
     tags: Tuple[str, ...] = ()
 
@@ -389,6 +394,8 @@ class ScenarioSpec:
             raise KeyError(
                 f"unknown engine {self.engine!r} (registered: {known})"
             )
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be at least 1 when given")
         # JSON round-trips deliver lists; store the canonical tuple.
         object.__setattr__(self, "faults", tuple(self.faults))
 
@@ -436,6 +443,8 @@ class ScenarioSpec:
             del data["faults"]
         if self.engine == "event":
             del data["engine"]
+        if self.shards is None:
+            del data["shards"]
         if self.churn is not None:
             data["churn"]["events"] = [
                 [event.time, event.node, event.action]
@@ -484,6 +493,7 @@ class ScenarioSpec:
             ),
             privacy=PrivacySpec(**data.get("privacy", {})),
             engine=data.get("engine", "event"),
+            shards=data.get("shards"),
             description=data.get("description", ""),
             tags=tuple(data.get("tags", ())),
         )

@@ -128,3 +128,43 @@ class TestContract:
         assert engine._worker_count(4) == 4
         assert engine._worker_count(100) == 64
         assert ParallelSweep(processes=None)._worker_count(1) == 1
+
+
+class TestDegradeReporting:
+    def test_effective_processes_serial(self):
+        engine = ParallelSweep(repetitions=2, base_seed=1, processes=1)
+        assert engine.effective_processes is None
+        engine.run([1, 2], seeded_runner)
+        assert engine.effective_processes == 1
+
+    def test_effective_processes_pool(self):
+        engine = ParallelSweep(repetitions=2, base_seed=1, processes=4)
+        try:
+            engine.run([1, 2], seeded_runner)
+        finally:
+            engine.close()
+        assert engine.effective_processes == 4
+
+    def test_explicit_serial_is_silent(self, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.analysis.parallel"):
+            ParallelSweep(repetitions=2, processes=1).run([1], seeded_runner)
+        assert caplog.records == []
+
+    def test_platform_degrade_warns(self, caplog, monkeypatch):
+        import logging
+
+        import repro.analysis.parallel as parallel_mod
+
+        # Simulate a platform without dependable fork: requested
+        # parallelism must degrade with a warning, not silently.
+        monkeypatch.setattr(parallel_mod.sys, "platform", "darwin")
+        engine = ParallelSweep(repetitions=2, base_seed=1, processes=4)
+        with caplog.at_level(logging.WARNING, logger="repro.analysis.parallel"):
+            results = engine.run([1, 2], seeded_runner)
+        assert engine.effective_processes == 1
+        assert results == sweep([1, 2], seeded_runner, repetitions=2, base_seed=1)
+        assert any(
+            "degrading" in record.getMessage() for record in caplog.records
+        )

@@ -48,7 +48,7 @@ def observation_digest(sim: Simulator) -> str:
 
 class TestEngineSelection:
     def test_registered_engines(self):
-        assert ENGINES == ("event", "batched")
+        assert ENGINES == ("event", "batched", "sharded")
 
     def test_default_engine_is_event(self):
         overlay = random_regular_overlay(10, degree=3, seed=1)

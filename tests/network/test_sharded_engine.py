@@ -1,0 +1,386 @@
+"""The sharded multi-process engine: partition, parity, fallback, drain.
+
+The engine-equivalence *properties* live in
+``tests/property/test_engine_equivalence.py``; this module pins the
+sharded engine's unit surface:
+
+* the committed golden observation-log digests, reproduced bit-for-bit
+  under ``engine="sharded"`` (through the multi-process path where the
+  configuration is eligible, through the exact in-process fallback where
+  it is not);
+* path selection — which configurations take the worker-process window
+  loop and which must fall back (loss, jitter, per-node protocol RNG,
+  ``until`` bounds, live timers, ``shards=1``), with identical results
+  either way;
+* fixed-seed equivalence scenarios the random properties are unlikely to
+  hit: simultaneous multi-payload origination with heterogeneous payload
+  sizes, sequential broadcasts over one session, static churn
+  (failed nodes and severed links), and ``max_events`` stop + resume;
+* :func:`repro.network.topology.bfs_partition` invariants and the
+  partition cache lifecycle on the overlay graph;
+* the observation store's deferred cohort adoption: counters and log
+  contents equal to the event engine's eagerly recorded ones.
+"""
+
+import hashlib
+
+import pytest
+
+import repro.network.sharded as sharded_mod
+from repro.broadcast.flood import FloodNode, run_flood
+from repro.broadcast.gossip import run_gossip
+from repro.network.conditions import NetworkConditions
+from repro.network.latency import ConstantLatency
+from repro.network.simulator import Simulator
+from repro.network.sharded import (
+    PARTITION_CACHE_KEY,
+    default_shard_count,
+    shard_assignment,
+)
+from repro.network.batched import csr_topology
+from repro.network.topology import (
+    bfs_order,
+    bfs_partition,
+    random_regular_overlay,
+)
+
+
+def observation_digest(sim: Simulator) -> str:
+    digest = hashlib.sha256()
+    for obs in sim.iter_observations():
+        digest.update(
+            repr(
+                (
+                    obs.time,
+                    obs.receiver,
+                    obs.sender,
+                    obs.message.kind,
+                    obs.message.payload_id,
+                    obs.message.size_bytes,
+                    obs.direct,
+                )
+            ).encode()
+        )
+    return digest.hexdigest()
+
+
+@pytest.fixture
+def window_calls(monkeypatch):
+    """Record whether the multi-process window loop actually ran."""
+    calls = []
+    original = sharded_mod._run_windows
+
+    def spy(*args, **kwargs):
+        calls.append(args)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(sharded_mod, "_run_windows", spy)
+    return calls
+
+
+def _flood_sim(engine, shards=None, size=80, degree=4, seed=3, run_seed=0,
+               conditions=None, node_factory=FloodNode):
+    overlay = random_regular_overlay(size, degree=degree, seed=seed)
+    if conditions is not None:
+        sim = Simulator(
+            overlay, seed=run_seed, conditions=conditions,
+            engine=engine, shards=shards,
+        )
+    else:
+        sim = Simulator(
+            overlay, latency=ConstantLatency(1.0), seed=run_seed,
+            engine=engine, shards=shards,
+        )
+    sim.populate(node_factory)
+    return sim
+
+
+class TestGoldenLogsSharded:
+    """The committed goldens, reproduced on the sharded engine.
+
+    Same digests as ``tests/network/test_fastpath_determinism.py`` and
+    ``tests/network/test_batched_engine.py`` pin — the strongest form of
+    the three-engine parity contract.
+    """
+
+    def test_flood_log_unchanged(self):
+        overlay = random_regular_overlay(200, degree=8, seed=3)
+        result = run_flood(
+            overlay, source=0, seed=11, engine="sharded", shards=2
+        )
+        assert observation_digest(result.simulator) == (
+            "f4f67c74e1ab6a66909eea87966d0c547ef2bae70d1c9e5d50cc996786577723"
+        )
+
+    def test_gossip_log_unchanged_via_fallback(self):
+        # Gossip consumes per-node RNG, so the sharded engine must decline
+        # the split and still hit the exact same golden in-process.
+        overlay = random_regular_overlay(200, degree=8, seed=3)
+        result = run_gossip(
+            overlay, source=5, seed=12, engine="sharded", shards=2
+        )
+        assert observation_digest(result.simulator) == (
+            "a7e2ffccad25a793a845c35ef15ac6dfe411d28e79a197fec790ce57899b47a7"
+        )
+
+    def test_lossy_jittery_log_unchanged_via_fallback(self):
+        overlay = random_regular_overlay(120, degree=8, seed=21)
+        conditions = NetworkConditions.internet_like(
+            loss_probability=0.08, jitter=0.05
+        )
+        sim = Simulator(
+            overlay, seed=77, conditions=conditions,
+            engine="sharded", shards=2,
+        )
+        sim.populate(FloodNode)
+        sim.node(0).originate("tx")
+        sim.run_until_idle()
+        assert sim.dropped_messages == 69
+        assert observation_digest(sim) == (
+            "b7cd3c318ed9d4bdd86c0f1e56af79ca49e5dfa8d8e93939b1968f70e175e43e"
+        )
+
+
+class TestPathSelection:
+    """Which configurations split across processes, which fall back."""
+
+    def test_clean_flood_takes_window_path(self, window_calls):
+        sim = _flood_sim("sharded", shards=2)
+        sim.node(0).originate("tx")
+        sim.run_until_idle()
+        assert len(window_calls) == 1
+        assert sim.metrics.reach("tx") == 80
+
+    def test_loss_falls_back(self, window_calls):
+        conditions = NetworkConditions(
+            latency=ConstantLatency(1.0), loss_probability=0.1
+        )
+        sim = _flood_sim("sharded", shards=2, conditions=conditions)
+        sim.node(0).originate("tx")
+        sim.run_until_idle()
+        assert window_calls == []
+
+    def test_jitter_falls_back(self, window_calls):
+        conditions = NetworkConditions(
+            latency=ConstantLatency(1.0), jitter=0.05
+        )
+        sim = _flood_sim("sharded", shards=2, conditions=conditions)
+        sim.node(0).originate("tx")
+        sim.run_until_idle()
+        assert window_calls == []
+
+    def test_protocol_rng_falls_back(self, window_calls):
+        overlay = random_regular_overlay(80, degree=4, seed=3)
+        run_gossip(overlay, source=0, seed=4, engine="sharded", shards=2)
+        assert window_calls == []
+
+    def test_single_shard_falls_back(self, window_calls):
+        sim = _flood_sim("sharded", shards=1)
+        sim.node(0).originate("tx")
+        sim.run_until_idle()
+        assert window_calls == []
+        assert sim.metrics.reach("tx") == 80
+
+    def test_until_bound_falls_back(self, window_calls):
+        sim = _flood_sim("sharded", shards=2)
+        sim.node(0).originate("tx")
+        assert sim.run(until=50.0) == 50.0
+        assert window_calls == []
+        assert sim.metrics.reach("tx") == 80
+
+    def test_live_timer_falls_back(self, window_calls):
+        # Any non-delivery queue entry may observe global state between
+        # cohorts, so it must force the in-process path.
+        sim = _flood_sim("sharded", shards=2)
+        sim.schedule(0.5, lambda: None)
+        sim.node(0).originate("tx")
+        sim.run_until_idle()
+        assert window_calls == []
+        assert sim.metrics.reach("tx") == 80
+
+    def test_fallback_results_match_event_engine(self):
+        conditions = NetworkConditions(
+            latency=ConstantLatency(1.0), loss_probability=0.15
+        )
+        logs = {}
+        for engine in ("event", "sharded"):
+            sim = _flood_sim(
+                engine, shards=2 if engine == "sharded" else None,
+                conditions=conditions, run_seed=9,
+            )
+            sim.node(0).originate("tx")
+            sim.run_until_idle()
+            logs[engine] = (
+                observation_digest(sim), sim.dropped_messages,
+                sim.metrics.reach("tx"),
+            )
+        assert logs["sharded"] == logs["event"]
+
+
+class TestFixedEquivalence:
+    """Fixed-seed scenarios the random properties are unlikely to draw."""
+
+    @staticmethod
+    def _summary(sim, payloads):
+        return {
+            "digest": observation_digest(sim),
+            "events": len(sim.store),
+            "churn_dropped": sim.churn_dropped,
+            "bytes": sim.metrics.bytes_sent(),
+            "reach": {p: sim.metrics.reach(p) for p in payloads},
+            "completion": {
+                p: sim.metrics.completion_time(p) for p in payloads
+            },
+        }
+
+    def test_multi_payload_heterogeneous_sizes(self, window_calls):
+        # Two simultaneous originators, per-node payload sizes: exercises
+        # cross-payload rank interleaving and shard_node_sizes.
+        def sized_node(node_id):
+            return FloodNode(node_id, payload_size_bytes=200 + node_id % 7 * 16)
+
+        results = {}
+        for engine, shards in (("event", None), ("sharded", 3)):
+            sim = _flood_sim(
+                engine, shards=shards, size=90, degree=6, seed=8,
+                node_factory=sized_node,
+            )
+            sim.node(0).originate("tx-a")
+            sim.node(45).originate("tx-b")
+            sim.run_until_idle()
+            results[engine] = self._summary(sim, ["tx-a", "tx-b"])
+        assert results["sharded"] == results["event"]
+        assert len(window_calls) == 1
+
+    def test_sequential_broadcasts_share_seen_state(self, window_calls):
+        results = {}
+        for engine, shards in (("event", None), ("sharded", 2)):
+            sim = _flood_sim(engine, shards=shards, size=60, degree=4)
+            sim.node(0).originate("tx-1")
+            sim.run_until_idle()
+            sim.node(7).originate("tx-2")
+            sim.run_until_idle()
+            results[engine] = self._summary(sim, ["tx-1", "tx-2"])
+        assert results["sharded"] == results["event"]
+        # Both runs of the session split (prior seen state is mirrored
+        # into the workers via prior_seen_ids).
+        assert len(window_calls) == 2
+
+    def test_static_churn_and_severed_links(self, window_calls):
+        results = {}
+        for engine, shards in (("event", None), ("sharded", 2)):
+            sim = _flood_sim(engine, shards=shards, size=70, degree=5)
+            for node_id in (3, 11, 29):
+                sim.fail_node(node_id)
+            sim.sever_link(0, next(iter(sim.graph.neighbors(0))))
+            sim.node(0).originate("tx")
+            sim.run_until_idle()
+            results[engine] = self._summary(sim, ["tx"])
+        assert results["sharded"] == results["event"]
+        # The three failed nodes stay unreached on both engines.
+        assert results["event"]["reach"]["tx"] <= 67
+        assert len(window_calls) == 1
+
+    def test_max_events_stop_and_resume(self):
+        full = _flood_sim("event", size=80, degree=4)
+        full.node(0).originate("tx")
+        full.run_until_idle()
+
+        sim = _flood_sim("sharded", shards=2, size=80, degree=4)
+        sim.node(0).originate("tx")
+        sim.run(max_events=40)
+        # The cap is window-granular: the run may overshoot within one
+        # window but must stop with later waves still pending, and
+        # pending_events must see the requeued backlog.
+        assert sim.pending_events > 0
+        assert sim.now < full.now
+        sim.run_until_idle()
+        assert observation_digest(sim) == observation_digest(full)
+        assert sim.now == full.now
+        assert sim.pending_events == 0
+
+
+class TestPartition:
+    def test_blocks_cover_every_node_once(self):
+        overlay = random_regular_overlay(50, degree=4, seed=2)
+        for parts in (1, 2, 3, 7):
+            blocks = bfs_partition(overlay, parts)
+            assert len(blocks) == parts
+            nodes = [node for block in blocks for node in block]
+            assert sorted(nodes) == sorted(overlay.nodes)
+            sizes = [len(block) for block in blocks]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_blocks_chunk_the_bfs_order(self):
+        overlay = random_regular_overlay(40, degree=4, seed=5)
+        blocks = bfs_partition(overlay, 3)
+        assert [n for block in blocks for n in block] == bfs_order(overlay)
+
+    def test_partition_is_deterministic(self):
+        overlay = random_regular_overlay(40, degree=4, seed=5)
+        assert bfs_partition(overlay, 4) == bfs_partition(overlay, 4)
+
+    def test_invalid_part_counts_rejected(self):
+        overlay = random_regular_overlay(10, degree=3, seed=1)
+        with pytest.raises(ValueError):
+            bfs_partition(overlay, 0)
+        with pytest.raises(ValueError):
+            bfs_partition(overlay, 11)
+
+    def test_default_shard_count_bounds(self):
+        assert 2 <= default_shard_count(100_000) <= 8
+
+    def test_assignment_cached_and_invalidated(self):
+        overlay = random_regular_overlay(30, degree=4, seed=4)
+        topology = csr_topology(overlay)
+        first = shard_assignment(overlay, topology, 3)
+        assert PARTITION_CACHE_KEY in overlay.graph
+        assert shard_assignment(overlay, topology, 3) is first
+        # A different shard count rebuilds instead of serving stale data.
+        other = shard_assignment(overlay, topology, 2)
+        assert other is not first
+        sim = Simulator(overlay, engine="sharded", shards=3)
+        sim.invalidate_topology_caches()
+        assert PARTITION_CACHE_KEY not in overlay.graph
+
+
+class TestStoreAdoption:
+    """Deferred cohort adoption matches the event engine's eager store."""
+
+    def test_counters_and_log_match_event_engine(self):
+        sims = {}
+        for engine, shards in (("event", None), ("sharded", 2)):
+            sim = _flood_sim(engine, shards=shards, size=60, degree=4)
+            sim.node(0).originate("tx")
+            sim.run_until_idle()
+            sims[engine] = sim
+        event, sharded = sims["event"], sims["sharded"]
+        assert len(sharded.store) == len(event.store)
+        assert sharded.store.kind_counts() == event.store.kind_counts()
+        assert sharded.store.payload_count() == event.store.payload_count()
+        assert sharded.store.count(payload_id="tx") == (
+            event.store.count(payload_id="tx")
+        )
+        assert sharded.metrics.delivered_nodes("tx") == (
+            event.metrics.delivered_nodes("tx")
+        )
+        assert observation_digest(sharded) == observation_digest(event)
+
+    def test_on_first_hook_forces_exact_fallback(self, window_calls):
+        # A pending first-observation hook must fire mid-run in log order;
+        # the sharded engine cannot guarantee that across processes, so
+        # the hook forces the in-process path — and fires identically.
+        fired = {}
+        for engine, shards in (("event", None), ("sharded", 2)):
+            sim = _flood_sim(engine, shards=shards, size=40, degree=4)
+            observed = []
+            sim.store.on_first("tx", FloodNode.MESSAGE_KIND, observed.append)
+            sim.node(0).originate("tx")
+            sim.run_until_idle()
+            assert len(observed) == 1
+            obs = observed[0]
+            fired[engine] = (
+                obs.time, obs.receiver, obs.sender, obs.message.payload_id
+            )
+        assert fired["sharded"] == fired["event"]
+        assert window_calls == []

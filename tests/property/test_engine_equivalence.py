@@ -1,10 +1,12 @@
-"""Engine-equivalence properties: batched cohorts == event loop, always.
+"""Engine-equivalence properties: every engine == the event loop, always.
 
 The batched engine (:mod:`repro.network.batched`) re-implements delivery as
-vectorised cohorts but promises *bit-identical observables*: for any seeded
-scenario, both engines must produce the same observation log (time,
-endpoints, kind, payload, size, direct-flag — the golden-digest definition),
-the same churn-drop and loss counters, and the same delivery metrics.
+vectorised cohorts, and the sharded engine (:mod:`repro.network.sharded`)
+spreads those cohorts over worker processes; both promise *bit-identical
+observables*: for any seeded scenario, all engines must produce the same
+observation log (time, endpoints, kind, payload, size, direct-flag — the
+golden-digest definition), the same churn-drop and loss counters, and the
+same delivery metrics.
 
 The golden tests in ``tests/network/test_fastpath_determinism.py`` pin a
 handful of fixed scenarios; these properties drive the same contract across
@@ -12,7 +14,12 @@ randomly drawn overlays, loss/jitter settings, node-churn schedules and
 link sever/restore schedules — the regions where an engine divergence
 would hide (a mid-flight topology change that one engine applies a cohort
 late, a loss draw consumed out of order, a fan-out that ignores a severed
-link).
+link, a cross-shard delivery ranked out of order).
+
+For the sharded engine the draws deliberately cover both of its regimes:
+flood without loss/jitter takes the multi-process window path, while
+gossip (per-node RNG) and any lossy/jittery setting exercise its exact
+in-process fallback.
 """
 
 import hashlib
@@ -64,6 +71,7 @@ def run_one(
     jitter: float,
     churn_seed,
     link_seed,
+    shards=None,
 ) -> dict:
     """One fully seeded broadcast on the chosen engine, all knobs applied."""
     overlay = random_regular_overlay(size, degree=degree, seed=overlay_seed)
@@ -73,7 +81,8 @@ def run_one(
         jitter=jitter,
     )
     sim = Simulator(
-        overlay, seed=run_seed, conditions=conditions, engine=engine
+        overlay, seed=run_seed, conditions=conditions, engine=engine,
+        shards=shards,
     )
     if protocol == "flood":
         sim.populate(FloodNode)
@@ -141,6 +150,11 @@ def test_engines_identical_on_static_overlays(
         loss, jitter, None, None,
     )
     assert batched == event
+    sharded = run_one(
+        "sharded", protocol, overlay_seed, run_seed, size, degree,
+        loss, jitter, None, None, shards=2,
+    )
+    assert sharded == event
 
 
 @settings(max_examples=25, deadline=None)
@@ -162,6 +176,11 @@ def test_engines_identical_under_node_churn(
         0.0, 0.0, churn_seed, None,
     )
     assert batched == event
+    sharded = run_one(
+        "sharded", protocol, overlay_seed, run_seed, size, degree,
+        0.0, 0.0, churn_seed, None, shards=2,
+    )
+    assert sharded == event
 
 
 @settings(max_examples=25, deadline=None)
@@ -183,6 +202,11 @@ def test_engines_identical_under_severed_links(
         0.0, 0.0, None, link_seed,
     )
     assert batched == event
+    sharded = run_one(
+        "sharded", protocol, overlay_seed, run_seed, size, degree,
+        0.0, 0.0, None, link_seed, shards=2,
+    )
+    assert sharded == event
 
 
 @settings(max_examples=15, deadline=None)
@@ -207,3 +231,8 @@ def test_engines_identical_under_combined_stress(
         loss, 0.0, churn_seed, link_seed,
     )
     assert batched == event
+    sharded = run_one(
+        "sharded", protocol, overlay_seed, run_seed, size, degree,
+        loss, 0.0, churn_seed, link_seed, shards=2,
+    )
+    assert sharded == event

@@ -1,10 +1,10 @@
-"""The ``engine`` knob on ScenarioSpec and the scenario CLI.
+"""The ``engine``/``shards`` knobs on ScenarioSpec and the scenario CLI.
 
-The spec field must be digest-neutral at its default (pre-existing spec
-serializations and run digests cannot change), validated like every other
-registry name (KeyError listing the alternatives), and — the whole point —
-behaviour-neutral: a preset runs to the identical observation digest on
-either engine.
+The spec fields must be digest-neutral at their defaults (pre-existing
+spec serializations and run digests cannot change), validated like every
+other registry name (KeyError listing the alternatives), and — the whole
+point — behaviour-neutral: a preset runs to the identical observation
+digest on every engine, at any shard count.
 """
 
 import subprocess
@@ -29,7 +29,7 @@ def _run_cli(*args):
     )
 
 
-def _small_spec(engine="event"):
+def _small_spec(engine="event", shards=None):
     return ScenarioSpec(
         name="engine-probe",
         topology=TopologySpec(
@@ -37,6 +37,7 @@ def _small_spec(engine="event"):
         ),
         protocol="flood",
         engine=engine,
+        shards=shards,
     )
 
 
@@ -66,9 +67,57 @@ class TestSpecField:
     def test_preset_digests_are_engine_independent(self):
         runner = ScenarioRunner(processes=1)
         spec = scenario("e4_broadcast_deanonymization")
-        assert runner.observation_digest(spec) == runner.observation_digest(
+        event_digest = runner.observation_digest(spec)
+        assert event_digest == runner.observation_digest(
             spec.derive(engine="batched")
         )
+        assert event_digest == runner.observation_digest(
+            spec.derive(engine="sharded", shards=2)
+        )
+
+    def test_digest_is_shard_count_independent(self):
+        runner = ScenarioRunner(processes=1)
+        spec = scenario("e4_broadcast_deanonymization").derive(
+            engine="sharded"
+        )
+        assert runner.observation_digest(
+            spec.derive(shards=2)
+        ) == runner.observation_digest(spec.derive(shards=3))
+
+    def test_heterogeneous_protocol_digests_are_engine_independent(self):
+        # The three-phase protocol mixes message kinds, direct traffic and
+        # timers — the sharded engine must recognise what it cannot split
+        # and still land on the event engine's exact digest.
+        runner = ScenarioRunner(processes=1)
+        spec = scenario("e7_three_phase_end_to_end")
+        event_digest = runner.observation_digest(spec)
+        assert event_digest == runner.observation_digest(
+            spec.derive(engine="batched")
+        )
+        assert event_digest == runner.observation_digest(
+            spec.derive(engine="sharded", shards=2)
+        )
+
+
+class TestShardsField:
+    def test_default_shards_omitted_from_serialization(self):
+        spec = _small_spec(engine="sharded")
+        assert "shards" not in spec.to_dict()
+        assert ScenarioSpec.from_dict(spec.to_dict()).shards is None
+
+    def test_shards_round_trip(self):
+        spec = _small_spec(engine="sharded", shards=3)
+        data = spec.to_dict()
+        assert data["shards"] == 3
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(ValueError):
+            _small_spec(engine="sharded", shards=0)
+
+    def test_derive_switches_shards(self):
+        spec = _small_spec(engine="sharded")
+        assert spec.derive(shards=4).shards == 4
 
 
 class TestCliEngineFlag:
@@ -84,6 +133,15 @@ class TestCliEngineFlag:
         proc = _run_cli(
             "run", "e4_broadcast_deanonymization",
             "--engine", "batched", "--repetitions", "1", "--processes", "1",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "# digest:" in proc.stdout
+
+    def test_sharded_engine_runs_preset_with_shards(self):
+        proc = _run_cli(
+            "run", "e4_broadcast_deanonymization",
+            "--engine", "sharded", "--shards", "2",
+            "--repetitions", "1", "--processes", "1",
         )
         assert proc.returncode == 0, proc.stderr
         assert "# digest:" in proc.stdout

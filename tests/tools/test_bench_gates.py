@@ -214,3 +214,43 @@ class TestCliGates:
              "--baseline", str(baseline)]
         )
         assert code == 0
+
+    def test_new_scenario_without_baseline_reported_as_new(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        # A freshly added tier is absent from the baseline: the comparison
+        # must say "new scenario", never flag it, and still exit zero.
+        _stub_suite(monkeypatch, budget_mib=1e9)
+        baseline = tmp_path / "BENCH_base.json"
+        baseline.write_text(json.dumps(_report(
+            {"unrelated_tier": _result(1000.0)}
+        )))
+        code = bench_cli.main(
+            ["--scenarios", "stub_tier", "--repeats", "1", "--warmup", "0",
+             "--label", "gate", "--output-dir", str(tmp_path), "--no-write",
+             "--baseline", str(baseline)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "new scenario, no baseline" in out
+
+    def test_baseline_only_scenario_reported_as_unmeasured(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        # The opposite direction — present in the baseline, filtered out of
+        # this run — gets its own distinct message.
+        _stub_suite(monkeypatch, budget_mib=1e9)
+        baseline = tmp_path / "BENCH_base.json"
+        baseline.write_text(json.dumps(_report({
+            "stub_tier": _result(1e-9),
+            "retired_tier": _result(1000.0),
+        })))
+        code = bench_cli.main(
+            ["--scenarios", "stub_tier", "--repeats", "1", "--warmup", "0",
+             "--label", "gate", "--output-dir", str(tmp_path), "--no-write",
+             "--baseline", str(baseline)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "retired_tier" in out
+        assert "in baseline only; not measured in this run" in out
