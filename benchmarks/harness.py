@@ -57,6 +57,7 @@ __all__ = [
     "run_scenario",
     "run_suite",
     "scenario_names",
+    "telemetry_overhead",
 ]
 
 
@@ -575,13 +576,24 @@ def calibrate(loops: int = 3, inner: int = 200_000) -> float:
 
 
 def run_scenario(
-    scenario: Scenario, repeats: int = 5, warmup: int = 1
+    scenario: Scenario,
+    repeats: int = 5,
+    warmup: int = 1,
+    collect_telemetry: bool = False,
 ) -> Dict[str, Any]:
     """Measure one scenario: median wall-clock, events/sec, peak RSS.
 
     The event count must be identical across repeats (scenarios are seeded
     and deterministic); a drift would mean the scenario is not measuring
     what it claims, so it fails loudly.
+
+    With ``collect_telemetry`` the scenario runs one *extra, untimed*
+    iteration under an ambient
+    :class:`~repro.telemetry.recorder.TelemetryRecorder` and the result
+    gains a ``"telemetry"`` block (counters, gauges, histograms,
+    fallbacks, per-shard stats — spans are dropped, their wall-clock
+    numbers would churn every report diff).  The timed iterations run
+    without any recorder, so the measured numbers are unaffected.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
@@ -630,6 +642,24 @@ def run_scenario(
     }
     if scenario.memory_budget_mib is not None:
         result["memory_budget_mib"] = scenario.memory_budget_mib
+    if collect_telemetry:
+        from repro.telemetry import TelemetryRecorder, recording
+
+        recorder = TelemetryRecorder()
+        # The recorder attaches at Simulator construction (ambient
+        # lookup), so prepare-built state must happen inside the
+        # recording block too.
+        prepared = None
+        gc.collect()
+        with recording(recorder):
+            scenario.run(state())
+        document = recorder.to_dict()
+        result["telemetry"] = {
+            key: document[key]
+            for key in (
+                "counters", "gauges", "histograms", "fallbacks", "shards"
+            )
+        }
     return result
 
 
@@ -638,12 +668,15 @@ def run_suite(
     repeats: int = 5,
     warmup: int = 1,
     meta: Optional[Dict[str, Any]] = None,
+    collect_telemetry: bool = False,
 ) -> Dict[str, Any]:
     """Run the named scenarios and assemble a report dictionary.
 
     The report is what ``scripts/bench.py`` serialises to
     ``BENCH_<label>.json``: a ``meta`` block (environment + calibration) and
-    one result block per scenario.
+    one result block per scenario.  ``collect_telemetry`` adds a counter
+    block per scenario (see :func:`run_scenario`); reports with and
+    without the block remain mutually comparable.
     """
     unknown = [name for name in names if name not in SCENARIOS]
     if unknown:
@@ -662,10 +695,74 @@ def run_suite(
     if meta:
         report_meta.update(meta)
     results = {
-        name: run_scenario(SCENARIOS[name], repeats=repeats, warmup=warmup)
+        name: run_scenario(
+            SCENARIOS[name],
+            repeats=repeats,
+            warmup=warmup,
+            collect_telemetry=collect_telemetry,
+        )
         for name in names
     }
     return {"meta": report_meta, "results": results}
+
+
+def telemetry_overhead(
+    name: str, repeats: int = 3, warmup: int = 1
+) -> Dict[str, Any]:
+    """Measure the cost of an *enabled* telemetry recorder on one scenario.
+
+    Runs the scenario's timed region ``repeats`` times without telemetry
+    and ``repeats`` times under an ambient
+    :class:`~repro.telemetry.recorder.TelemetryRecorder`, strictly
+    interleaved (off, on, off, on, …) so machine-load drift hits both
+    sides equally, then compares the *minimum* of each side — the right
+    statistic for an overhead bound, since anything above the minimum is
+    noise, not telemetry.
+
+    Returns ``{"name", "off_seconds", "on_seconds", "overhead"}`` where
+    ``overhead`` is ``on/off − 1`` (slightly negative values are normal
+    measurement noise).
+    """
+    from repro.telemetry import TelemetryRecorder, recording
+
+    scenario = SCENARIOS[name]
+    context = scenario.setup()
+
+    def state() -> Any:
+        if scenario.prepare is None:
+            return context
+        return scenario.prepare(context)
+
+    for _ in range(warmup):
+        scenario.run(state())
+    off: List[float] = []
+    on: List[float] = []
+    for _ in range(repeats):
+        for samples, enabled in ((off, False), (on, True)):
+            gc.collect()
+            if not enabled:
+                prepared = state()
+                start = time.perf_counter()
+                scenario.run(prepared)
+                samples.append(time.perf_counter() - start)
+            else:
+                # The recorder attaches at Simulator construction, so the
+                # (untimed) state build happens inside the recording block;
+                # the timed region is identical to the off side.
+                with recording(TelemetryRecorder()):
+                    prepared = state()
+                    start = time.perf_counter()
+                    scenario.run(prepared)
+                    samples.append(time.perf_counter() - start)
+            prepared = None
+    off_seconds = min(off)
+    on_seconds = min(on)
+    return {
+        "name": name,
+        "off_seconds": off_seconds,
+        "on_seconds": on_seconds,
+        "overhead": on_seconds / off_seconds - 1.0,
+    }
 
 
 def memory_gate(report: Dict[str, Any]) -> List[Dict[str, Any]]:
@@ -713,10 +810,21 @@ def compare_reports(
     Returns one entry per scenario in the union of both reports::
 
         {"name", "status" ("ok"|"regression"|"improvement"|"missing"),
-         "speedup", "baseline_eps", "current_eps"}
+         "speedup", "baseline_eps", "current_eps",
+         "baseline_counters", "current_counters"}
 
-    where ``speedup`` is normalised current ÷ normalised baseline.
+    where ``speedup`` is normalised current ÷ normalised baseline.  The
+    counter entries surface each report's telemetry counter block when
+    present and are ``None`` otherwise — reports written before the
+    telemetry subsystem (or with it off) compare against newer ones, in
+    either direction, without affecting any status.
     """
+
+    def counters_of(result: Optional[Dict[str, Any]]) -> Optional[Any]:
+        if not result:
+            return None
+        return result.get("telemetry", {}).get("counters")
+
     if not 0.0 <= max_regression < 1.0:
         raise ValueError("max_regression must be in [0, 1)")
     baseline_calibration = float(
@@ -742,6 +850,8 @@ def compare_reports(
                     "speedup": None,
                     "baseline_eps": base and base["events_per_second"],
                     "current_eps": cur and cur["events_per_second"],
+                    "baseline_counters": counters_of(base),
+                    "current_counters": counters_of(cur),
                 }
             )
             continue
@@ -761,6 +871,8 @@ def compare_reports(
                 "speedup": speedup,
                 "baseline_eps": base["events_per_second"],
                 "current_eps": cur["events_per_second"],
+                "baseline_counters": counters_of(base),
+                "current_counters": counters_of(cur),
             }
         )
     return entries

@@ -8,6 +8,10 @@ compares the numbers against a baseline report, failing (exit code 1) when
 any scenario's calibrated events/sec regressed beyond the threshold or a
 scale tier's peak RSS exceeded its scenario-declared memory budget (the
 memory gate needs no baseline and also fails under ``--no-compare``).
+Each result also carries a telemetry counter block (events dispatched,
+per-shard stats; ``--no-telemetry`` to skip), and ``--smoke`` asserts
+that an *enabled* recorder stays within a small overhead budget on the
+5,000-peer flood tier (see ``docs/OBSERVABILITY.md``).
 
 Typical uses::
 
@@ -151,6 +155,19 @@ def main(argv: Optional[list] = None) -> int:
         help="skip the baseline comparison entirely",
     )
     parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="skip telemetry counter collection (one untimed extra run "
+        "per scenario) and the --smoke overhead gate",
+    )
+    parser.add_argument(
+        "--telemetry-overhead-threshold",
+        type=float,
+        default=0.03,
+        help="--smoke gate: fail when an enabled telemetry recorder slows "
+        "e11_flood_5000 by more than this fraction (default: 0.03)",
+    )
+    parser.add_argument(
         "--no-write",
         action="store_true",
         help="measure and compare without writing a report file",
@@ -226,6 +243,7 @@ def main(argv: Optional[list] = None) -> int:
         repeats=args.repeats,
         warmup=args.warmup,
         meta={"label": label, "source_tree": str(src)},
+        collect_telemetry=not args.no_telemetry,
     )
 
     for name in names:
@@ -265,14 +283,38 @@ def main(argv: Optional[list] = None) -> int:
     if memory_failed:
         print("# FAIL: peak RSS above the scenario memory budget")
 
+    # The telemetry-overhead gate proves the "zero overhead when a
+    # recorder *is* attached" claim on the hot loop the docs make it
+    # about.  Baseline-free (interleaved off/on runs of the same build),
+    # it rides on --smoke only: the flood tier it measures is too slow
+    # to run on every ad-hoc invocation.
+    telemetry_failed = False
+    if (args.smoke and not args.no_telemetry
+            and "e11_flood_5000" in harness.SCENARIOS):
+        gate = harness.telemetry_overhead("e11_flood_5000", repeats=3,
+                                          warmup=args.warmup)
+        threshold = args.telemetry_overhead_threshold
+        over = gate["overhead"] > threshold
+        print(
+            f"# telemetry overhead ({gate['name']}): "
+            f"{'!' if over else ' '} {gate['overhead']:+.2%} "
+            f"(off {gate['off_seconds'] * 1000:.1f} ms -> "
+            f"on {gate['on_seconds'] * 1000:.1f} ms, "
+            f"threshold {threshold:.0%})"
+        )
+        if over:
+            telemetry_failed = True
+            print("# FAIL: enabled-telemetry overhead above threshold")
+
+    gates_failed = memory_failed or telemetry_failed
     if args.no_compare:
-        return 1 if memory_failed else 0
+        return 1 if gates_failed else 0
     baseline_path = args.baseline
     if baseline_path is None:
         baseline_path = _latest_report(args.output_dir, exclude=output_path)
         if baseline_path is None:
             print("# no baseline report found; comparison skipped")
-            return 1 if memory_failed else 0
+            return 1 if gates_failed else 0
     with open(baseline_path) as handle:
         baseline = json.load(handle)
     print(f"# baseline: {baseline_path}")
@@ -308,6 +350,20 @@ def main(argv: Optional[list] = None) -> int:
             f"({entry['baseline_eps']:,.0f} -> {entry['current_eps']:,.0f} "
             f"raw events/s)"
         )
+        # Informational counter block: never a gate.  Either side may
+        # predate the telemetry subsystem (or have run --no-telemetry),
+        # so a missing block prints as "-" instead of failing.
+        base_counters = entry["baseline_counters"]
+        cur_counters = entry["current_counters"]
+        if base_counters is not None or cur_counters is not None:
+            def _events(counters):
+                if counters is None:
+                    return "-"
+                return f"{counters.get('events_dispatched', 0):,}"
+            print(
+                f"{'':24s}   counters: events_dispatched "
+                f"{_events(base_counters)} -> {_events(cur_counters)}"
+            )
         if entry["status"] == "regression":
             failed = True
     if failed:
@@ -316,7 +372,7 @@ def main(argv: Optional[list] = None) -> int:
             "of calibrated events/sec"
         )
         return 1
-    if memory_failed:
+    if gates_failed:
         return 1
     print("# OK: no scenario regressed beyond the threshold")
     return 0

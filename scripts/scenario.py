@@ -28,6 +28,11 @@ enumerates, inspects and executes them:
     python scripts/scenario.py run stress_mixed_senders \
         --adversary-model adaptive
 
+    # record runtime telemetry (docs/OBSERVABILITY.md): counters, phase
+    # spans, per-shard stats, plus a Chrome-loadable trace file
+    python scripts/scenario.py run e11_scale --engine sharded \
+        --telemetry telemetry.json
+
 Every run reports the anonymity metrics of the privacy subsystem
 (``docs/PRIVACY.md``) next to the detection numbers; ``--no-privacy``
 turns them off.
@@ -56,6 +61,7 @@ from repro.scenarios import (  # noqa: E402
     available_scenarios,
     scenario,
 )
+from repro.telemetry import chrome_trace, write_json  # noqa: E402
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -142,7 +148,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     if args.no_privacy:
         spec = spec.derive(privacy=PrivacySpec(enabled=False))
-    runner = ScenarioRunner(processes=args.processes)
+    runner = ScenarioRunner(
+        processes=args.processes, telemetry=bool(args.telemetry)
+    )
     result = runner.run(spec, repetitions=args.repetitions)
 
     print(f"# scenario: {spec.name}  ({spec.description})")
@@ -161,6 +169,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     print(format_table(["run"] + metric_names, rows))
     print(f"# digest: {result.digest}")
+    print(f"# engine: requested={spec.engine} "
+          f"effective={result.aggregate['engine_effective']}")
+
+    if args.telemetry:
+        telemetry_path = Path(args.telemetry)
+        write_json(telemetry_path, result.telemetry)
+        trace_path = telemetry_path.with_suffix(".trace.json")
+        write_json(trace_path, chrome_trace(result.telemetry))
+        print(f"# wrote telemetry {telemetry_path} + trace {trace_path}")
 
     if args.json_out:
         path = Path(args.json_out)
@@ -232,6 +249,13 @@ def main(argv: Optional[list] = None) -> int:
         "--shards", type=int, default=None,
         help="worker-process count for --engine sharded "
              "(default: the engine's own default)",
+    )
+    run_parser.add_argument(
+        "--telemetry", default=None, metavar="PATH",
+        help="record runtime telemetry (counters, phase spans, per-shard "
+             "stats) and write the scenario-level JSON document here, plus "
+             "a Chrome trace-event file next to it (PATH with a "
+             "'.trace.json' suffix; load via chrome://tracing or Perfetto)",
     )
     run_parser.add_argument(
         "--no-privacy", action="store_true",

@@ -19,6 +19,8 @@ Quickstart::
     print(result.delivered_fraction, result.messages_by_phase)
 """
 
+import logging
+
 from repro.core import (
     BroadcastResult,
     Phase,
@@ -26,6 +28,13 @@ from repro.core import (
     ThreePhaseBroadcast,
     ThreePhaseNode,
 )
+
+# Library convention: never emit log output unless the application
+# configures logging.  Modules log under ``repro.*`` child loggers
+# (engines, runners, sweeps); a NullHandler on the package root keeps
+# the "No handlers could be found" warning away without installing any
+# real handler.
+logging.getLogger(__name__).addHandler(logging.NullHandler())
 
 __version__ = "0.1.0"
 

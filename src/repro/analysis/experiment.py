@@ -29,6 +29,7 @@ protocols face the same environment.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import (
@@ -63,7 +64,10 @@ from repro.privacy.metrics import (
 )
 from repro.privacy.posterior import Scores, estimator_rank
 from repro.protocols import BroadcastProtocol, create_protocol
+from repro.telemetry.recorder import NULL_RECORDER, Recorder, recording
 from repro.threat.base import AdversaryModel
+
+logger = logging.getLogger(__name__)
 
 #: An estimator factory: called once per attacked broadcast with the
 #: session's simulator and the adversary's observer set; the returned object
@@ -122,6 +126,11 @@ class ExperimentResult:
             :class:`~repro.threat.base.AdversaryModel` (repositionings,
             blame verdicts, severed links, ...); empty for the static
             attacker.
+        engine_effective: the delivery engine that actually executed the
+            broadcasts — ``"batched"`` when a sharded run fell back
+            in-process, ``"event"`` when no cohort kernel was eligible,
+            ``"mixed"`` when broadcasts disagreed.  Digest-neutral
+            metadata; mirrors ``Simulator.engine_effective``.
     """
 
     protocol: str
@@ -133,6 +142,7 @@ class ExperimentResult:
     mean_reach: float = 1.0
     privacy: Optional[PrivacyReport] = None
     adversary_metrics: Dict[str, float] = field(default_factory=dict)
+    engine_effective: str = "event"
 
 
 def _pick_sources(
@@ -170,6 +180,7 @@ def run_attack_experiment(
     adversary: Optional[AdversaryModel] = None,
     engine: str = "event",
     shards: Optional[int] = None,
+    telemetry: Optional[Recorder] = None,
 ) -> ExperimentResult:
     """Run the deanonymisation experiment against one registered protocol.
 
@@ -216,6 +227,12 @@ def run_attack_experiment(
             sets the sharded engine's worker count.  All engines
             are seed-for-seed identical in every observable, so this only
             affects wall-clock performance.
+        telemetry: a :class:`~repro.telemetry.Recorder` to instrument the
+            experiment with — installed ambiently for every session built
+            inside, with phase spans (``protocol_setup``, ``run``,
+            ``privacy``, ``metrics``) around the stages.  ``None`` (the
+            default) records nothing and costs nothing; recording never
+            changes any observable result.
 
     Session handling follows the protocol's declaration: a
     ``shared_session`` protocol (three-phase) builds one session for all
@@ -275,87 +292,130 @@ def run_attack_experiment(
                 linker.observe(source, scores)
         return scores
 
-    if proto.shared_session:
-        session = proto.build(
-            graph, conditions, seed=seed, engine=engine, shards=shards
-        )
-        if session_hook is not None:
-            session_hook(session)
-        protected = set(sources)
-        if adversary is not None:
-            adversary.begin_session(session)
-            monitored = adversary.place(
-                graph, adversary_fraction, rng, protected
-            )
-        else:
-            monitored = deploy_botnet(
-                graph, adversary_fraction, rng, protected=protected
-            ).observers
-        for index, source in enumerate(sources):
-            payload_id = f"tx-{seed}-{index}"
-            outcome = proto.broadcast(session, source, payload_id)
-            guesser = estimator_factory(session.simulator, monitored)
-            scores = attack(guesser, source, payload_id)
-            if adversary is not None:
-                updated = adversary.after_broadcast(
-                    payload_id, source, scores or {}, graph, protected
-                )
-                if updated is not None:
-                    monitored = updated
-            message_counts.append(float(outcome.messages))
-            reaches.append(outcome.delivered_fraction)
-    else:
-        for index, source in enumerate(sources):
-            run_seed = seed * 1000 + index
-            session = proto.build(
-                graph, conditions, seed=run_seed, engine=engine,
-                shards=shards,
-            )
-            if session_hook is not None:
-                session_hook(session)
-            protected = {source}
-            if adversary is not None:
-                adversary.begin_session(session)
-                monitored = adversary.place(
-                    graph, adversary_fraction, session.rng, protected
-                )
-            else:
-                monitored = deploy_botnet(
-                    graph, adversary_fraction, session.rng, protected=protected
-                ).observers
-            payload_id = f"tx-{run_seed}"
-            outcome = proto.broadcast(session, source, payload_id)
-            guesser = estimator_factory(session.simulator, monitored)
-            scores = attack(guesser, source, payload_id)
-            if adversary is not None:
-                adversary.after_broadcast(
-                    payload_id, source, scores or {}, graph, protected
-                )
-            message_counts.append(float(outcome.messages))
-            reaches.append(outcome.delivered_fraction)
-
-    privacy_report: Optional[PrivacyReport] = None
-    if accumulator is not None:
-        intersection = None
-        if linker is not None:
-            intersection = summarize_intersection(
-                linker.outcomes(),
-                graph.number_of_nodes(),
-                accumulator.mean_entropy,
-            )
-        privacy_report = accumulator.report(intersection=intersection)
-
-    return ExperimentResult(
-        protocol=proto.name,
-        adversary_fraction=adversary_fraction,
-        detection=evaluate_attack(outcomes),
-        messages_per_broadcast=sum(message_counts) / len(message_counts),
-        anonymity_floor=proto.anonymity_floor(),
-        estimator=estimator_name,
-        mean_reach=sum(reaches) / len(reaches),
-        privacy=privacy_report,
-        adversary_metrics=dict(adversary.metrics()) if adversary else {},
+    # The recorder is installed ambiently so every Simulator the protocol
+    # builds — including ones constructed deep inside adapters — attaches
+    # without any build-signature change.  ``tel`` is always span-capable
+    # (the null recorder's spans are no-ops), keeping the flow unforked.
+    recorder = (
+        telemetry if telemetry is not None and telemetry.enabled else None
     )
+    tel = recorder if recorder is not None else NULL_RECORDER
+    logger.debug(
+        "running attack experiment: protocol=%s broadcasts=%d engine=%s",
+        proto.name,
+        broadcasts,
+        engine,
+    )
+    effective_engines: List[str] = []
+    with recording(recorder):
+        if proto.shared_session:
+            with tel.span("protocol_setup", protocol=proto.name):
+                session = proto.build(
+                    graph, conditions, seed=seed, engine=engine,
+                    shards=shards,
+                )
+                if session_hook is not None:
+                    session_hook(session)
+                protected = set(sources)
+                if adversary is not None:
+                    adversary.begin_session(session)
+                    monitored = adversary.place(
+                        graph, adversary_fraction, rng, protected
+                    )
+                else:
+                    monitored = deploy_botnet(
+                        graph, adversary_fraction, rng, protected=protected
+                    ).observers
+            with tel.span("run", broadcasts=len(sources)):
+                for index, source in enumerate(sources):
+                    payload_id = f"tx-{seed}-{index}"
+                    outcome = proto.broadcast(session, source, payload_id)
+                    effective_engines.append(
+                        session.simulator.engine_effective
+                    )
+                    guesser = estimator_factory(session.simulator, monitored)
+                    scores = attack(guesser, source, payload_id)
+                    if adversary is not None:
+                        updated = adversary.after_broadcast(
+                            payload_id, source, scores or {}, graph, protected
+                        )
+                        if updated is not None:
+                            monitored = updated
+                    message_counts.append(float(outcome.messages))
+                    reaches.append(outcome.delivered_fraction)
+        else:
+            with tel.span("run", broadcasts=len(sources)):
+                for index, source in enumerate(sources):
+                    run_seed = seed * 1000 + index
+                    with tel.span("protocol_setup", broadcast=index):
+                        session = proto.build(
+                            graph, conditions, seed=run_seed, engine=engine,
+                            shards=shards,
+                        )
+                        if session_hook is not None:
+                            session_hook(session)
+                        protected = {source}
+                        if adversary is not None:
+                            adversary.begin_session(session)
+                            monitored = adversary.place(
+                                graph, adversary_fraction, session.rng,
+                                protected,
+                            )
+                        else:
+                            monitored = deploy_botnet(
+                                graph, adversary_fraction, session.rng,
+                                protected=protected,
+                            ).observers
+                    payload_id = f"tx-{run_seed}"
+                    outcome = proto.broadcast(session, source, payload_id)
+                    effective_engines.append(
+                        session.simulator.engine_effective
+                    )
+                    guesser = estimator_factory(session.simulator, monitored)
+                    scores = attack(guesser, source, payload_id)
+                    if adversary is not None:
+                        adversary.after_broadcast(
+                            payload_id, source, scores or {}, graph, protected
+                        )
+                    message_counts.append(float(outcome.messages))
+                    reaches.append(outcome.delivered_fraction)
+
+        privacy_report: Optional[PrivacyReport] = None
+        if accumulator is not None:
+            with tel.span("privacy"):
+                intersection = None
+                if linker is not None:
+                    intersection = summarize_intersection(
+                        linker.outcomes(),
+                        graph.number_of_nodes(),
+                        accumulator.mean_entropy,
+                    )
+                privacy_report = accumulator.report(
+                    intersection=intersection
+                )
+
+        effective = set(effective_engines)
+        engine_effective = (
+            effective.pop() if len(effective) == 1
+            else ("mixed" if effective else engine)
+        )
+        with tel.span("metrics"):
+            return ExperimentResult(
+                protocol=proto.name,
+                adversary_fraction=adversary_fraction,
+                detection=evaluate_attack(outcomes),
+                messages_per_broadcast=(
+                    sum(message_counts) / len(message_counts)
+                ),
+                anonymity_floor=proto.anonymity_floor(),
+                estimator=estimator_name,
+                mean_reach=sum(reaches) / len(reaches),
+                privacy=privacy_report,
+                adversary_metrics=(
+                    dict(adversary.metrics()) if adversary else {}
+                ),
+                engine_effective=engine_effective,
+            )
 
 
 def attack_experiment(

@@ -165,6 +165,48 @@ class ParallelSweep:
             )
         return results
 
+    def run_with_payloads(
+        self,
+        values: Sequence[ParameterValue],
+        runner: Any,
+    ) -> Tuple[List[Dict[str, float]], List[Any]]:
+        """Like :meth:`run` for runners returning ``(metrics, payload)``.
+
+        The metric dictionaries are aggregated exactly as :meth:`run`
+        does; the payloads — arbitrary picklable side-channel data such
+        as telemetry documents, which must stay out of ``aggregate_runs``
+        (it sums every value) — are returned separately, one per task in
+        task order (value-major, repetition-minor).
+        """
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be at least 1")
+        values = list(values)
+        if not values:
+            return [], []
+        tasks: List[_Task] = []
+        for value_index, value in enumerate(values):
+            for repetition in range(self.repetitions):
+                seed = derive_seed(
+                    value_index, repetition, self.repetitions, self.base_seed
+                )
+                tasks.append((len(tasks), value, seed))
+
+        # _execute is shape-agnostic: it collects whatever the runner
+        # returns by task index, so (metrics, payload) pairs ride through
+        # the same serial/pool paths unchanged.
+        outputs = self._execute(tasks, runner)
+        metrics_runs = [metrics for metrics, _payload in outputs]
+        payloads = [payload for _metrics, payload in outputs]
+        results: List[Dict[str, float]] = []
+        for value_index, value in enumerate(values):
+            start = value_index * self.repetitions
+            results.append(
+                aggregate_runs(
+                    value, metrics_runs[start : start + self.repetitions]
+                )
+            )
+        return results, payloads
+
     # ------------------------------------------------------------------
     # Execution strategies
     # ------------------------------------------------------------------

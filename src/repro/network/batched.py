@@ -48,12 +48,15 @@ land before any of its fan-out deliveries.
 from __future__ import annotations
 
 import heapq
+import logging
 from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.network.events import Event
 from repro.network.message import Observation
+
+logger = logging.getLogger(__name__)
 
 #: Key under which the CSR adjacency is cached in ``graph.graph``.  The
 #: simulator pops it in ``invalidate_topology_caches`` (by the same literal,
@@ -241,6 +244,11 @@ class CohortKernel:
         if self._generation == generation and self._topology is not None:
             return
         topology = csr_topology(simulator.graph)
+        logger.debug(
+            "cohort kernel refreshed CSR view: generation %d, %d nodes",
+            generation,
+            topology.n,
+        )
         self._topology = topology
         offline = simulator._offline
         severed = simulator._severed
@@ -480,6 +488,13 @@ class CohortKernel:
                     dropped += 1
                 elif jitter > 0.0:
                     delays[i] += link.uniform(0.0, jitter)
+            # Telemetry draw counters, bulk-updated to mirror the event
+            # engine exactly: loss draws once per overlay send, jitter
+            # only for transmissions that survived the loss filter.
+            if loss > 0.0:
+                simulator._loss_draws += total
+            if jitter > 0.0:
+                simulator._jitter_draws += total - dropped
             if dropped:
                 simulator._dropped_total += dropped
                 simulator._dropped_by_payload[payload_id] = (
@@ -546,6 +561,9 @@ def run_batched(simulator, kernel, until, max_events) -> float:
     blocks = simulator._blocks
     store = simulator.store
     kind = kernel.kind
+    # One attribute load per run; the disabled path then pays a single
+    # ``is not None`` test per *cohort* (not per event).
+    telemetry = simulator._telemetry
     while True:
         if executed >= event_cap:
             next_time = simulator._next_pending_time()
@@ -578,9 +596,17 @@ def run_batched(simulator, kernel, until, max_events) -> float:
             and not entry[2][3]
             and entry[2][2].kind == kind
         ):
-            executed += _process_cohort(simulator, kernel, time)
+            consumed = _process_cohort(simulator, kernel, time)
+            executed += consumed
+            if telemetry is not None:
+                telemetry.incr("cohorts")
+                telemetry.observe("cohort_size", consumed)
+                telemetry.gauge_max(
+                    "live_events_peak", simulator.pending_events
+                )
         else:
             executed += _step_single(simulator)
+    simulator._last_executed = executed
     if until is not None and not hit_event_limit:
         simulator._now = max(simulator._now, until)
     return simulator._now

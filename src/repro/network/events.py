@@ -95,6 +95,9 @@ class EventQueue:
         self._live = 0
         self._next_sequence = count().__next__
         self._seq_counter: Optional[int] = None
+        #: Peak live-entry count; ``None`` until
+        #: :meth:`enable_depth_tracking` opts this queue in.
+        self.peak_live: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Sequence reservation (batched engine)
@@ -162,6 +165,28 @@ class EventQueue:
             raise ValueError("events cannot be scheduled at negative times")
         heapq.heappush(self._heap, (time, self._next_sequence(), item))
         self._live += 1
+
+    def enable_depth_tracking(self) -> None:
+        """Track the peak number of live entries (telemetry opt-in).
+
+        Shadows :meth:`push`/:meth:`push_item` with counting wrappers on
+        this instance, so queues without tracking — the default — pay
+        nothing.  The peak is exposed as :attr:`peak_live`.
+        """
+        self.peak_live = self._live
+        self.push = self._tracked_push  # type: ignore[method-assign]
+        self.push_item = self._tracked_push_item  # type: ignore[method-assign]
+
+    def _tracked_push(self, time: float, action: Callable[[], None]) -> Event:
+        event = EventQueue.push(self, time, action)
+        if self._live > self.peak_live:
+            self.peak_live = self._live
+        return event
+
+    def _tracked_push_item(self, time: float, item: Any) -> None:
+        EventQueue.push_item(self, time, item)
+        if self._live > self.peak_live:
+            self.peak_live = self._live
 
     def pop(self) -> Optional[Event]:
         """Remove and return the next live event's handle, or ``None``.

@@ -62,6 +62,7 @@ provided as :func:`shard_rng`; the currently eligible kernels are
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import random
@@ -74,6 +75,8 @@ import numpy as np
 from repro.network.events import Event
 from repro.network.message import Message
 from repro.network.topology import bfs_partition
+
+logger = logging.getLogger(__name__)
 
 #: Cap on the *default* worker count (``shards=None``); explicit shard
 #: counts are honoured up to the node count.
@@ -133,6 +136,18 @@ def shard_assignment(graph, topology, shards: int) -> np.ndarray:
     return assignment
 
 
+def _decline(simulator, reason: str) -> None:
+    """Record why the multi-process path declined; returns ``None``.
+
+    The reason lands on ``simulator.fallback_reason``, in the debug log,
+    and — when a recorder is attached — in the telemetry fallback
+    counters, so "why did my sharded run not shard?" has an answer
+    (historically the fallback was silent).
+    """
+    simulator._note_fallback(reason)
+    return None
+
+
 def try_run_sharded(simulator, kernel, until, max_events) -> Optional[float]:
     """Run the simulation across worker processes, or decline.
 
@@ -140,32 +155,35 @@ def try_run_sharded(simulator, kernel, until, max_events) -> Optional[float]:
     cannot be split exactly (the caller then falls back in-process to
     ``run_batched``, which is behaviourally identical).  All eligibility
     checks happen before any state is consumed, so declining is free of
-    side effects beyond ``_start_nodes``.
+    side effects beyond ``_start_nodes``; every decline records its
+    reason via :func:`_decline`.
     """
     if sys.platform != "linux":
-        return None
+        return _decline(simulator, "non-linux platform")
     if "fork" not in multiprocessing.get_all_start_methods():
-        return None
+        return _decline(simulator, "fork start method unavailable")
     if until is not None:
-        return None
+        return _decline(simulator, "bounded run (until set)")
     if not kernel.rng_free or kernel.shard_fanout != "exclude_sender":
-        return None
+        return _decline(
+            simulator, "kernel not rng-free or unsupported fan-out shape"
+        )
     delay = simulator.latency.constant_delay()
     if delay is None:
-        return None
+        return _decline(simulator, "non-constant delay")
     if simulator._loss_probability > 0.0 or simulator._jitter > 0.0:
-        return None
+        return _decline(simulator, "loss or jitter enabled")
     if simulator.store._first_hooks:
-        return None
+        return _decline(simulator, "pending first-observation hooks")
     if simulator._blocks is not None and len(simulator._blocks):
-        return None
+        return _decline(simulator, "pending delivery blocks")
     node_count = simulator.graph.number_of_nodes()
     shards = simulator._shards
     if shards is None:
         shards = default_shard_count(node_count)
     shards = min(shards, node_count)
     if shards < 2:
-        return None
+        return _decline(simulator, "<2 shards")
 
     simulator._start_nodes()
 
@@ -181,27 +199,32 @@ def try_run_sharded(simulator, kernel, until, max_events) -> Optional[float]:
         if item.__class__ is Event:
             if item.cancelled:
                 continue
-            return None
+            return _decline(simulator, "timer in queue")
         if item.__class__ is not tuple or item[3] or item[2].kind != kind:
-            return None
+            return _decline(
+                simulator, "foreign queue entry (direct or foreign kind)"
+            )
         if item[0] not in index or item[1] not in index:
-            return None
+            return _decline(
+                simulator, "queue entry with unregistered endpoint"
+            )
         payload_set.add(item[2].payload_id)
 
     node_sizes = kernel.shard_node_sizes()
     if node_sizes is None:
-        return None
+        return _decline(simulator, "kernel lacks per-node payload sizes")
     priors: Dict[Hashable, np.ndarray] = {}
     for payload_id in payload_set:
         prior = kernel.prior_seen_ids(payload_id)
         if prior is None:
-            return None
+            return _decline(simulator, "kernel lacks prior-seen mirror")
         priors[payload_id] = np.fromiter(
             (index[node_id] for node_id in prior),
             dtype=np.int64,
             count=len(prior),
         )
 
+    simulator._fallback_reason = None
     queue = simulator._queue
     entries: List[tuple] = []
     while True:
@@ -210,6 +233,7 @@ def try_run_sharded(simulator, kernel, until, max_events) -> Optional[float]:
             break
         entries.append(entry)
     if not entries:
+        simulator._last_executed = 0
         return simulator._now
 
     return _run_windows(
@@ -389,6 +413,13 @@ def _run_windows(
                 proc.terminate()
                 proc.join()
 
+    simulator._last_executed = executed
+    telemetry = simulator._telemetry
+    if telemetry is not None:
+        telemetry.incr("sharded_runs")
+        for shard, (_records, _inbox, worker_counters) in enumerate(results):
+            telemetry.record_shard(shard, worker_counters)
+
     _adopt_results(
         simulator, kernel, topology, payload_list, results
     )
@@ -413,7 +444,7 @@ def _recv(conn):
 def _adopt_results(simulator, kernel, topology, payload_list, results):
     """Replay the workers' per-window records into store/metrics/nodes."""
     records = []
-    for worker_records, _inbox in results:
+    for worker_records, _inbox, _counters in results:
         records.extend(worker_records)
     records.sort(key=lambda record: record[0])
     ids_array = topology.ids_array
@@ -475,7 +506,7 @@ def _requeue_pending(
     for (time, _owner), chunk_list in routed.items():
         for pidx, ranks, targets, senders, sizes in chunk_list:
             leftovers.append((time, pidx, ranks, targets, senders, sizes))
-    for _records, inbox in results:
+    for _records, inbox, _counters in results:
         for time, by_payload in inbox.items():
             for pidx, chunk_list in by_payload.items():
                 for ranks, targets, senders, sizes in chunk_list:
@@ -554,13 +585,24 @@ def _worker_main(conn, me, static):
 
         inbox: Dict[float, Dict[int, list]] = {}
         records: List[tuple] = []
+        # Worker-local telemetry counters, shipped back with the finish
+        # reply and merged per shard by the parent.  Plain ints: they
+        # cross the pipe regardless of whether telemetry is enabled (the
+        # cost is one small tuple element on an already-made send).
+        counters = {
+            "windows": 0,
+            "deliveries_processed": 0,
+            "fresh_nodes": 0,
+            "fanout_emitted": 0,
+        }
         while True:
             message = conn.recv()
             if message[0] == "finish":
-                conn.send((records, inbox))
+                conn.send((records, inbox, counters))
                 conn.close()
                 return
             _, time, routed = message
+            counters["windows"] += 1
             local = inbox.pop(time, {})
             for pidx, ranks, targets, senders, sizes in routed:
                 local.setdefault(pidx, []).append(
@@ -604,6 +646,7 @@ def _worker_main(conn, me, static):
                     time, pidx, ranks, targets, senders, sizes,
                     fresh.astype(np.int32),
                 ))
+                counters["fresh_nodes"] += int(len(fresh))
                 if not len(fresh):
                     continue
 
@@ -637,6 +680,7 @@ def _worker_main(conn, me, static):
                     (pidx, kept_counts, em_targets[keep], em_senders[keep])
                 )
 
+            counters["deliveries_processed"] += processed
             target_time = time + delay
             if trigger_chunks:
                 all_triggers = np.concatenate(trigger_chunks)
@@ -644,6 +688,7 @@ def _worker_main(conn, me, static):
             else:
                 all_triggers = np.empty(0, dtype=np.int64)
                 all_counts = np.empty(0, dtype=np.int64)
+            counters["fanout_emitted"] += int(all_counts.sum())
             conn.send(
                 ("blocks", target_time, all_triggers, all_counts, processed)
             )

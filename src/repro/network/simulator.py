@@ -45,6 +45,7 @@ this for every preset.
 
 from __future__ import annotations
 
+import logging
 import random
 from typing import (
     Callable,
@@ -67,6 +68,9 @@ from repro.network.message import Message, Observation
 from repro.network.metrics import MetricsCollector
 from repro.network.node import Node
 from repro.network.observation_store import ObservationStore
+from repro.telemetry.recorder import Recorder, current_recorder
+
+logger = logging.getLogger(__name__)
 
 #: The registered delivery engines (see the module docstring).
 ENGINES: Tuple[str, ...] = ("event", "batched", "sharded")
@@ -100,6 +104,13 @@ class Simulator:
         shards: worker-process count for ``engine="sharded"`` (default:
             the CPU count, at least 2, capped at 8).  Ignored by the
             other engines; behaviour is shard-count independent.
+        telemetry: a :class:`~repro.telemetry.Recorder`; defaults to the
+            ambient recorder installed by
+            :func:`repro.telemetry.recording` (or none).  Recorders with
+            ``enabled`` false are treated as absent, so the default
+            costs nothing.  Telemetry never changes observable
+            behaviour: identical seeds produce identical observation
+            logs with it on or off.
     """
 
     def __init__(
@@ -110,6 +121,7 @@ class Simulator:
         conditions: Optional[NetworkConditions] = None,
         engine: str = "event",
         shards: Optional[int] = None,
+        telemetry: Optional[Recorder] = None,
     ) -> None:
         if graph.number_of_nodes() == 0:
             raise ValueError("the overlay graph must not be empty")
@@ -160,6 +172,22 @@ class Simulator:
         # link is down (the common case).
         self._severed: set = set()
         self._churn_dropped = 0
+        # Telemetry: resolved once, normalised to ``None`` unless enabled,
+        # so the hot paths below never test a recorder object.  Counter
+        # deltas are read at run() boundaries; only the opt-in queue depth
+        # tracking touches a per-event path.
+        recorder = telemetry if telemetry is not None else current_recorder()
+        if recorder is not None and recorder.enabled:
+            self._telemetry: Optional[Recorder] = recorder
+            if recorder.queue_depth:
+                self._queue.enable_depth_tracking()
+        else:
+            self._telemetry = None
+        self._engine_effective = engine
+        self._fallback_reason: Optional[str] = None
+        self._last_executed = 0
+        self._loss_draws = 0
+        self._jitter_draws = 0
         # Per-event fast path: the conditions object is frozen and the
         # latency model / store are fixed for the simulator's lifetime, so
         # their hot attributes are resolved exactly once.
@@ -195,6 +223,28 @@ class Simulator:
     def shards(self) -> Optional[int]:
         """The requested shard count (``None`` = the engine's default)."""
         return self._shards
+
+    @property
+    def telemetry(self) -> Optional[Recorder]:
+        """The enabled recorder attached to this simulator, or ``None``."""
+        return self._telemetry
+
+    @property
+    def engine_effective(self) -> str:
+        """The engine that actually executed the most recent :meth:`run`.
+
+        ``engine="sharded"`` runs fall back to ``"batched"`` when the
+        configuration cannot be split across workers, and both batched
+        and sharded fall back to ``"event"`` when no cohort kernel is
+        eligible; :attr:`fallback_reason` carries the why.  Before the
+        first run this reports the requested engine.
+        """
+        return self._engine_effective
+
+    @property
+    def fallback_reason(self) -> Optional[str]:
+        """Why the last run left the requested engine, or ``None``."""
+        return self._fallback_reason
 
     # ------------------------------------------------------------------
     # Node management
@@ -429,14 +479,19 @@ class Simulator:
         delay = self._delay(sender, receiver)
         if not direct:
             loss = self._loss_probability
-            if loss > 0.0 and self._link_rng.random() < loss:
-                self._dropped_total += 1
-                self._dropped_by_payload[message.payload_id] = (
-                    self._dropped_by_payload.get(message.payload_id, 0) + 1
-                )
-                return
+            if loss > 0.0:
+                # Draw counters live inside the already-conditional
+                # branches, so lossless runs pay nothing for them.
+                self._loss_draws += 1
+                if self._link_rng.random() < loss:
+                    self._dropped_total += 1
+                    self._dropped_by_payload[message.payload_id] = (
+                        self._dropped_by_payload.get(message.payload_id, 0) + 1
+                    )
+                    return
             jitter = self._jitter
             if jitter > 0.0:
+                self._jitter_draws += 1
                 delay += self._link_rng.uniform(0.0, jitter)
         # A delivery is data, not code: the run loop recognises the 4-tuple
         # and performs the observation + dispatch inline.
@@ -490,6 +545,16 @@ class Simulator:
             return queue_time
         return min(queue_time, block_time)
 
+    def _note_fallback(self, reason: str) -> None:
+        """Record why a run left its requested engine (see telemetry)."""
+        self._fallback_reason = reason
+        logger.debug(
+            "engine %r falling back: %s", self._engine, reason
+        )
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.fallback(reason)
+
     def run(
         self,
         until: Optional[float] = None,
@@ -517,12 +582,50 @@ class Simulator:
         semantics are identical on both engines.  Without an eligible
         kernel the batched engine runs this very loop.
         """
+        telemetry = self._telemetry
+        if telemetry is None:
+            return self._run_impl(until, max_events)
+        # Telemetry accounting happens strictly at run boundaries: counter
+        # snapshots before, deltas after.  Nothing below draws randomness
+        # or touches the event stream, so digests are unaffected.
+        store = self.store
+        observed_before = len(store)
+        churn_before = self._churn_dropped
+        lost_before = self._dropped_total
+        loss_draws_before = self._loss_draws
+        jitter_draws_before = self._jitter_draws
+        telemetry.gauge_max("live_events_peak", self.pending_events)
+        with telemetry.span("simulator_run", engine=self._engine):
+            end = self._run_impl(until, max_events)
+        telemetry.incr("events_dispatched", self._last_executed)
+        telemetry.incr("deliveries_recorded", len(store) - observed_before)
+        telemetry.incr("churn_dropped", self._churn_dropped - churn_before)
+        telemetry.incr("loss_dropped", self._dropped_total - lost_before)
+        telemetry.incr("loss_draws", self._loss_draws - loss_draws_before)
+        telemetry.incr(
+            "jitter_draws", self._jitter_draws - jitter_draws_before
+        )
+        peak = self._queue.peak_live
+        if peak is not None:
+            telemetry.gauge_max("queue_depth_peak", peak)
+        telemetry.sample_rss()
+        return end
+
+    def _run_impl(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Engine dispatch + the per-message event loop (see :meth:`run`)."""
         if self._engine == "batched":
             kernel = self._resolve_kernel()
             if kernel is not None:
                 from repro.network.batched import run_batched
 
+                self._engine_effective = "batched"
                 return run_batched(self, kernel, until, max_events)
+            self._engine_effective = "event"
+            self._note_fallback("no cohort kernel (mixed or non-cohort node types)")
         elif self._engine == "sharded":
             kernel = self._resolve_kernel()
             if kernel is not None:
@@ -531,10 +634,15 @@ class Simulator:
 
                 end = try_run_sharded(self, kernel, until, max_events)
                 if end is not None:
+                    self._engine_effective = "sharded"
                     return end
                 # Configuration not splittable (randomness, timers, ...):
                 # same cohorts, one process — still seed-for-seed identical.
+                # try_run_sharded recorded the ineligibility reason.
+                self._engine_effective = "batched"
                 return run_batched(self, kernel, until, max_events)
+            self._engine_effective = "event"
+            self._note_fallback("no cohort kernel (mixed or non-cohort node types)")
         self._start_nodes()
         executed = 0
         event_cap = float("inf") if max_events is None else max_events
@@ -588,6 +696,7 @@ class Simulator:
             else:
                 item()
             executed += 1
+        self._last_executed = executed
         if until is not None and not hit_event_limit:
             self._now = max(self._now, until)
         return self._now

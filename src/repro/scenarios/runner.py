@@ -23,9 +23,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -36,6 +37,10 @@ from repro.network.simulator import Simulator
 from repro.protocols import BroadcastProtocol, protocol_class
 from repro.protocols.base import ProtocolSession
 from repro.scenarios.spec import ScenarioSpec
+from repro.telemetry.export import aggregate_telemetry
+from repro.telemetry.recorder import NULL_RECORDER, Recorder, TelemetryRecorder
+
+logger = logging.getLogger(__name__)
 
 
 def build_protocol(name: str, options: Dict[str, Any]) -> BroadcastProtocol:
@@ -109,20 +114,31 @@ def compile_scenario(spec: ScenarioSpec) -> CompiledScenario:
 
 
 def run_scenario_once(
-    spec: ScenarioSpec, seed: Optional[int] = None
+    spec: ScenarioSpec,
+    seed: Optional[int] = None,
+    telemetry: Optional[Recorder] = None,
 ) -> ExperimentResult:
     """One seeded run of ``spec`` through the canonical experiment loop.
 
     Args:
         spec: the scenario to run.
         seed: the run's master seed; defaults to the spec's base seed.
+        telemetry: optional recorder; when enabled, the topology build is
+            timed under a ``topology_build`` span and the recorder is
+            handed to :func:`run_attack_experiment` for the remaining
+            phase spans and engine counters.  Telemetry never changes the
+            run itself — metrics and observation logs are bit-identical
+            with or without it.
 
     Returns:
         The :class:`~repro.analysis.experiment.ExperimentResult` that
         ``run_attack_experiment`` produces for exactly this setting — which
         is why a preset and its benchmark agree number for number.
     """
-    compiled = compile_scenario(spec)
+    tel = telemetry if telemetry is not None and telemetry.enabled else None
+    rec = tel if tel is not None else NULL_RECORDER
+    with rec.span("topology_build", scenario=spec.name):
+        compiled = compile_scenario(spec)
     privacy = spec.privacy.build()
     return run_attack_experiment(
         compiled.graph,
@@ -140,6 +156,7 @@ def run_scenario_once(
         adversary=spec.adversary.build(),
         engine=spec.engine,
         shards=spec.shards,
+        telemetry=tel,
     )
 
 
@@ -232,13 +249,21 @@ class ScenarioResult:
         seeds: the per-repetition master seeds, in repetition order.
         runs: one metrics dictionary per repetition (see
             :func:`experiment_metrics`).
-        aggregate: every metric meaned over the repetitions.
+        aggregate: every metric meaned over the repetitions, plus
+            execution metadata (``repetitions``, ``effective_processes``,
+            ``engine_effective``) that stays outside the digest.
+        telemetry: the scenario-level telemetry document (see
+            :func:`repro.telemetry.export.aggregate_telemetry`) when the
+            runner recorded one, ``None`` otherwise.  Never hashed into
+            the digest — spans carry wall-clock timings that differ run
+            to run.
     """
 
     spec: ScenarioSpec
     seeds: List[int]
     runs: List[Dict[str, float]]
-    aggregate: Dict[str, float] = field(default_factory=dict)
+    aggregate: Dict[str, Any] = field(default_factory=dict)
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def digest(self) -> str:
@@ -258,13 +283,16 @@ class ScenarioResult:
 
     def to_dict(self) -> Dict[str, Any]:
         """The JSON document ``scripts/scenario.py run --json-out`` writes."""
-        return {
+        document = {
             "spec": self.spec.to_dict(),
             "seeds": self.seeds,
             "runs": self.runs,
             "aggregate": self.aggregate,
             "digest": self.digest,
         }
+        if self.telemetry is not None:
+            document["telemetry"] = self.telemetry
+        return document
 
 
 class ScenarioRunner:
@@ -282,10 +310,19 @@ class ScenarioRunner:
             to the CPU count; ``1`` forces the serial path).  Repetition
             seeds follow :class:`~repro.scenarios.spec.SeedPolicy`, so the
             results are identical at any parallelism.
+        telemetry: when ``True``, every repetition runs under a fresh
+            :class:`~repro.telemetry.recorder.TelemetryRecorder` whose
+            document (counters, phase-span tree, per-shard stats) is
+            collected into :attr:`ScenarioResult.telemetry` via
+            :func:`~repro.telemetry.export.aggregate_telemetry`.  Metrics,
+            runs and the digest are bit-identical either way.
     """
 
-    def __init__(self, processes: Optional[int] = None) -> None:
+    def __init__(
+        self, processes: Optional[int] = None, telemetry: bool = False
+    ) -> None:
         self.processes = processes
+        self.telemetry = telemetry
 
     def run(
         self,
@@ -302,22 +339,48 @@ class ScenarioRunner:
         if reps < 1:
             raise ValueError("repetitions must be at least 1")
         seeds = [spec.seeds.seed_for(rep) for rep in range(reps)]
+        record = self.telemetry
+        logger.debug(
+            "running scenario %s: repetitions=%d engine=%s telemetry=%s",
+            spec.name, reps, spec.engine, record,
+        )
 
-        def _run_repetition(value: int, seed: int) -> Dict[str, float]:
-            return experiment_metrics(run_scenario_once(spec, seed=seed))
+        def _run_repetition(
+            value: int, seed: int
+        ) -> Tuple[Dict[str, float], Dict[str, Any]]:
+            recorder = TelemetryRecorder() if record else None
+            if recorder is not None:
+                with recorder.span("repetition", scenario=spec.name,
+                                   seed=seed):
+                    result = run_scenario_once(
+                        spec, seed=seed, telemetry=recorder
+                    )
+            else:
+                result = run_scenario_once(spec, seed=seed)
+            payload = {
+                "engine_effective": result.engine_effective,
+                "telemetry": (
+                    recorder.to_dict() if recorder is not None else None
+                ),
+            }
+            return experiment_metrics(result), payload
 
         # One ParallelSweep value per repetition with repetitions=1 makes
         # derive_seed assign exactly SeedPolicy's ``base_seed + r`` — so the
         # per-value "aggregates" the engine returns *are* the raw per-run
         # metrics, computed with the same fan-out machinery the analysis
-        # layer uses everywhere else.
+        # layer uses everywhere else.  Telemetry documents and engine
+        # metadata ride back as payloads: they are not metrics and must
+        # stay out of the aggregation.
         engine = ParallelSweep(
             repetitions=1,
             base_seed=spec.seeds.base_seed,
             processes=self.processes,
         )
         try:
-            raw = engine.run(list(range(reps)), _run_repetition)
+            raw, payloads = engine.run_with_payloads(
+                list(range(reps)), _run_repetition
+            )
             effective = engine.effective_processes or 1
         finally:
             engine.close()
@@ -329,7 +392,7 @@ class ScenarioRunner:
             }
             for entry in raw
         ]
-        aggregate = {
+        aggregate: Dict[str, Any] = {
             key: sum(run[key] for run in runs) / len(runs)
             for key in runs[0]
         }
@@ -339,8 +402,21 @@ class ScenarioRunner:
         # that silently degraded to the serial path still shows up in
         # persisted results without perturbing any golden digest.
         aggregate["effective_processes"] = float(effective)
+        # Same digest-neutral treatment for the engine that actually ran:
+        # a spec may request "sharded" and silently fall back — the
+        # aggregate makes the fallback visible in persisted results.
+        engines = {payload["engine_effective"] for payload in payloads}
+        aggregate["engine_effective"] = (
+            engines.pop() if len(engines) == 1 else "mixed"
+        )
+        telemetry_doc: Optional[Dict[str, Any]] = None
+        if record:
+            telemetry_doc = aggregate_telemetry(
+                [p["telemetry"] for p in payloads if p["telemetry"]]
+            )
         return ScenarioResult(
-            spec=spec, seeds=seeds, runs=runs, aggregate=aggregate
+            spec=spec, seeds=seeds, runs=runs, aggregate=aggregate,
+            telemetry=telemetry_doc,
         )
 
     def observation_digest(self, spec: ScenarioSpec) -> str:

@@ -1,0 +1,133 @@
+"""A dependency-free structural validator for the telemetry schema.
+
+The container bakes in no ``jsonschema`` package, so the CI smoke job and
+the tests validate telemetry documents with this deliberately small
+interpreter of the JSON-Schema subset the committed schema file uses:
+
+``type`` (including lists of types), ``properties``, ``required``,
+``additionalProperties`` (bool or schema), ``items``, ``enum``,
+``minimum`` and local ``$ref``s of the form ``#/$defs/<name>``.
+
+Anything outside that subset raises ``SchemaError`` at validation time
+rather than passing silently, so schema drift is caught in review.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["SchemaError", "validate"]
+
+_SUPPORTED_KEYS = {
+    "type",
+    "properties",
+    "required",
+    "additionalProperties",
+    "items",
+    "enum",
+    "minimum",
+    "$ref",
+    "$defs",
+    # Annotations carried for humans; no validation semantics here.
+    "title",
+    "description",
+    "$schema",
+}
+
+
+class SchemaError(ValueError):
+    """A document failed validation (or the schema is unsupported)."""
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    # bool subclasses int, so integer/number must exclude it explicitly.
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if name == "object":
+        return isinstance(value, dict)
+    if name == "array":
+        return isinstance(value, list)
+    if name == "string":
+        return isinstance(value, str)
+    if name == "boolean":
+        return isinstance(value, bool)
+    if name == "null":
+        return value is None
+    raise SchemaError(f"unsupported type name {name!r}")
+
+
+def _resolve_ref(ref: str, root: Dict[str, Any]) -> Dict[str, Any]:
+    if not ref.startswith("#/"):
+        raise SchemaError(f"unsupported $ref {ref!r} (only local refs)")
+    node: Any = root
+    for part in ref[2:].split("/"):
+        if not isinstance(node, dict) or part not in node:
+            raise SchemaError(f"$ref {ref!r} does not resolve")
+        node = node[part]
+    if not isinstance(node, dict):
+        raise SchemaError(f"$ref {ref!r} resolves to a non-schema")
+    return node
+
+
+def _validate(
+    value: Any, schema: Dict[str, Any], root: Dict[str, Any], path: str
+) -> None:
+    unsupported = set(schema) - _SUPPORTED_KEYS
+    if unsupported:
+        raise SchemaError(
+            f"{path}: schema uses unsupported keywords {sorted(unsupported)}"
+        )
+
+    ref = schema.get("$ref")
+    if ref is not None:
+        _validate(value, _resolve_ref(ref, root), root, path)
+        return
+
+    expected = schema.get("type")
+    if expected is not None:
+        names = expected if isinstance(expected, list) else [expected]
+        if not any(_type_ok(value, name) for name in names):
+            raise SchemaError(
+                f"{path}: expected type {expected}, "
+                f"got {type(value).__name__}"
+            )
+
+    enum = schema.get("enum")
+    if enum is not None and value not in enum:
+        raise SchemaError(f"{path}: {value!r} not in enum {enum}")
+
+    minimum = schema.get("minimum")
+    if minimum is not None:
+        if not isinstance(value, (int, float)) or value < minimum:
+            raise SchemaError(f"{path}: {value!r} below minimum {minimum}")
+
+    if isinstance(value, dict):
+        for name in schema.get("required", []):
+            if name not in value:
+                raise SchemaError(f"{path}: missing required key {name!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in properties:
+                _validate(item, properties[key], root, f"{path}.{key}")
+            elif isinstance(additional, dict):
+                _validate(item, additional, root, f"{path}.{key}")
+            elif additional is False:
+                raise SchemaError(f"{path}: unexpected key {key!r}")
+
+    if isinstance(value, list):
+        items = schema.get("items")
+        if items is not None:
+            for index, item in enumerate(value):
+                _validate(item, items, root, f"{path}[{index}]")
+
+
+def validate(document: Any, schema: Dict[str, Any]) -> List[str]:
+    """Validate ``document`` against ``schema``; raise SchemaError on failure.
+
+    Returns an empty list on success (a shape convenient for asserts).
+    """
+    _validate(document, schema, schema, "$")
+    return []

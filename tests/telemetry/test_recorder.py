@@ -1,0 +1,207 @@
+"""Unit surface of the telemetry recorder layer.
+
+The subsystem's core contract — the no-op default records nothing and
+costs nothing structurally, the concrete recorder produces a
+schema-valid JSON document, and the ambient installation is scoped and
+re-entrant — is pinned here without touching any engine.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry import (
+    NULL_RECORDER,
+    Recorder,
+    TelemetryRecorder,
+    aggregate_telemetry,
+    chrome_trace,
+    current_recorder,
+    recording,
+    validate,
+)
+
+SCHEMA = json.loads(
+    (Path(__file__).resolve().parent / "telemetry.schema.json").read_text()
+)
+
+
+class TestNullRecorder:
+    def test_disabled_and_stateless(self):
+        recorder = Recorder()
+        assert recorder.enabled is False
+        assert recorder.queue_depth is False
+        recorder.incr("events", 5)
+        recorder.observe("sizes", 3.0)
+        recorder.gauge_max("depth", 9)
+        recorder.fallback("because")
+        recorder.record_shard(0, {"windows": 1})
+        recorder.sample_rss()
+        with recorder.span("phase", detail=1) as node:
+            assert node is None
+        # No instrument grew any observable state: the instance dict is
+        # exactly as empty as a fresh one.
+        assert vars(recorder) == vars(Recorder())
+
+    def test_null_recorder_is_shared_noop(self):
+        assert NULL_RECORDER.enabled is False
+        with NULL_RECORDER.span("x"):
+            pass
+
+
+class TestTelemetryRecorder:
+    def test_counters_accumulate(self):
+        recorder = TelemetryRecorder()
+        recorder.incr("events")
+        recorder.incr("events", 4)
+        recorder.incr("zero", 0)  # zero deltas do not materialise keys
+        assert recorder.counters == {"events": 5}
+
+    def test_histogram_power_of_two_buckets(self):
+        recorder = TelemetryRecorder()
+        for value in (0, 1, 2, 3, 4, 5, 1000):
+            recorder.observe("cohort_size", value)
+        hist = recorder.histograms["cohort_size"]
+        assert hist["count"] == 7
+        assert hist["sum"] == 1015
+        assert hist["min"] == 0
+        assert hist["max"] == 1000
+        assert hist["buckets"] == {
+            "0": 1, "1": 1, "2": 1, "4": 2, "8": 1, "1024": 1,
+        }
+
+    def test_gauge_keeps_peak(self):
+        recorder = TelemetryRecorder()
+        recorder.gauge_max("depth", 5)
+        recorder.gauge_max("depth", 3)
+        recorder.gauge_max("depth", 8)
+        assert recorder.gauges == {"depth": 8}
+
+    def test_shard_counters_merge_by_shard(self):
+        recorder = TelemetryRecorder()
+        recorder.record_shard(0, {"windows": 2, "deliveries_processed": 10})
+        recorder.record_shard(1, {"windows": 2})
+        recorder.record_shard(0, {"windows": 1})
+        assert recorder.shards == {
+            0: {"windows": 3, "deliveries_processed": 10},
+            1: {"windows": 2},
+        }
+
+    def test_span_tree_follows_nesting(self):
+        recorder = TelemetryRecorder()
+        with recorder.span("outer", kind="test"):
+            with recorder.span("inner_a"):
+                pass
+            with recorder.span("inner_b"):
+                pass
+        (outer,) = recorder.spans
+        assert outer["name"] == "outer"
+        assert outer["attrs"] == {"kind": "test"}
+        assert [child["name"] for child in outer["children"]] == [
+            "inner_a", "inner_b",
+        ]
+        assert outer["dur_us"] >= max(
+            child["dur_us"] for child in outer["children"]
+        )
+
+    def test_span_cap_counts_drops(self):
+        recorder = TelemetryRecorder()
+        recorder.MAX_SPANS = 3
+        for _ in range(5):
+            with recorder.span("tick"):
+                pass
+        assert len(recorder.spans) == 3
+        assert recorder.counters["spans_dropped"] == 2
+
+    def test_open_span_reports_elapsed_in_to_dict(self):
+        recorder = TelemetryRecorder()
+        with recorder.span("open"):
+            document = recorder.to_dict()
+        (span,) = document["spans"]
+        assert span["dur_us"] >= 0
+        # The live node is untouched until the span actually closes.
+        assert recorder.spans[0]["dur_us"] is not None
+
+    def test_document_and_aggregate_validate_against_schema(self):
+        recorder = TelemetryRecorder()
+        recorder.incr("events_dispatched", 7)
+        recorder.observe("cohort_size", 3)
+        recorder.gauge_max("live_events_peak", 4)
+        recorder.fallback("loss or jitter enabled")
+        recorder.record_shard(0, {"windows": 1})
+        with recorder.span("repetition", seed=1):
+            with recorder.span("run"):
+                pass
+        scenario_doc = aggregate_telemetry(
+            [recorder.to_dict(), TelemetryRecorder().to_dict()]
+        )
+        assert validate(scenario_doc, SCHEMA) == []
+
+    def test_aggregate_sums_counters_and_maxes_gauges(self):
+        first = TelemetryRecorder()
+        first.incr("events_dispatched", 5)
+        first.gauge_max("peak_rss_kib", 100.0)
+        first.record_shard(0, {"windows": 2})
+        second = TelemetryRecorder()
+        second.incr("events_dispatched", 7)
+        second.gauge_max("peak_rss_kib", 90.0)
+        second.record_shard(0, {"windows": 3})
+        doc = aggregate_telemetry([first.to_dict(), second.to_dict()])
+        assert doc["counters"] == {"events_dispatched": 12}
+        assert doc["gauges"] == {"peak_rss_kib": 100.0}
+        assert doc["shards"] == {"0": {"windows": 5}}
+        assert len(doc["repetitions"]) == 2
+
+    def test_chrome_trace_emits_complete_events(self):
+        recorder = TelemetryRecorder()
+        recorder.incr("events_dispatched", 3)
+        with recorder.span("repetition"):
+            with recorder.span("run", broadcasts=1):
+                pass
+        trace = chrome_trace(aggregate_telemetry([recorder.to_dict()]))
+        phases = [event["ph"] for event in trace["traceEvents"]]
+        assert phases.count("M") == 1  # thread metadata per repetition
+        assert phases.count("X") == 2  # one complete event per span
+        assert phases.count("I") == 1  # counters instant
+        names = {
+            event["name"]
+            for event in trace["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert names == {"repetition", "run"}
+
+
+class TestAmbientRecording:
+    def test_recording_installs_and_restores(self):
+        assert current_recorder() is None
+        recorder = TelemetryRecorder()
+        with recording(recorder) as installed:
+            assert installed is recorder
+            assert current_recorder() is recorder
+        assert current_recorder() is None
+
+    def test_recording_none_is_transparent(self):
+        with recording(None) as installed:
+            assert installed is None
+            assert current_recorder() is None
+
+    def test_disabled_recorder_not_installed(self):
+        with recording(NULL_RECORDER) as installed:
+            assert installed is None
+            assert current_recorder() is None
+
+    def test_nested_recording_restores_outer(self):
+        outer, inner = TelemetryRecorder(), TelemetryRecorder()
+        with recording(outer):
+            with recording(inner):
+                assert current_recorder() is inner
+            assert current_recorder() is outer
+        assert current_recorder() is None
+
+    def test_exception_restores_previous(self):
+        recorder = TelemetryRecorder()
+        with pytest.raises(RuntimeError):
+            with recording(recorder):
+                raise RuntimeError("boom")
+        assert current_recorder() is None

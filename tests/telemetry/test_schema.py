@@ -1,0 +1,154 @@
+"""The dependency-free JSON-Schema subset validator.
+
+The container has no ``jsonschema`` package, so CI validates telemetry
+documents with ``repro.telemetry.schema.validate``.  These tests pin the
+subset's semantics — and, just as important, that anything *outside* the
+subset fails loudly instead of silently passing.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry import SchemaError, validate
+
+SCHEMA_PATH = Path(__file__).resolve().parent / "telemetry.schema.json"
+
+
+class TestTypes:
+    def test_scalar_types(self):
+        assert validate(3, {"type": "integer"}) == []
+        assert validate(3.5, {"type": "number"}) == []
+        assert validate(3, {"type": "number"}) == []
+        assert validate("x", {"type": "string"}) == []
+        assert validate(True, {"type": "boolean"}) == []
+        assert validate(None, {"type": "null"}) == []
+
+    def test_bool_is_not_integer_or_number(self):
+        # bool subclasses int in Python; JSON Schema keeps them distinct.
+        with pytest.raises(SchemaError):
+            validate(True, {"type": "integer"})
+        with pytest.raises(SchemaError):
+            validate(True, {"type": "number"})
+
+    def test_type_union(self):
+        schema = {"type": ["integer", "null"]}
+        assert validate(3, schema) == []
+        assert validate(None, schema) == []
+        with pytest.raises(SchemaError):
+            validate("three", schema)
+
+    def test_unknown_type_name_rejected(self):
+        with pytest.raises(SchemaError):
+            validate(1, {"type": "decimal"})
+
+
+class TestObjectsAndArrays:
+    def test_required_and_properties(self):
+        schema = {
+            "type": "object",
+            "required": ["a"],
+            "properties": {"a": {"type": "integer"}},
+        }
+        assert validate({"a": 1}, schema) == []
+        with pytest.raises(SchemaError, match="missing required"):
+            validate({}, schema)
+        with pytest.raises(SchemaError):
+            validate({"a": "one"}, schema)
+
+    def test_additional_properties_false(self):
+        schema = {"type": "object", "properties": {}, "additionalProperties": False}
+        with pytest.raises(SchemaError, match="unexpected key"):
+            validate({"surprise": 1}, schema)
+
+    def test_additional_properties_schema(self):
+        schema = {
+            "type": "object",
+            "additionalProperties": {"type": "integer", "minimum": 0},
+        }
+        assert validate({"a": 1, "b": 2}, schema) == []
+        with pytest.raises(SchemaError):
+            validate({"a": -1}, schema)
+
+    def test_items(self):
+        schema = {"type": "array", "items": {"type": "string"}}
+        assert validate(["x", "y"], schema) == []
+        with pytest.raises(SchemaError):
+            validate(["x", 3], schema)
+
+    def test_enum_and_minimum(self):
+        assert validate(1, {"enum": [1, 2]}) == []
+        with pytest.raises(SchemaError):
+            validate(3, {"enum": [1, 2]})
+        with pytest.raises(SchemaError, match="below minimum"):
+            validate(-1, {"type": "integer", "minimum": 0})
+
+
+class TestRefs:
+    def test_local_ref_resolves(self):
+        schema = {
+            "$ref": "#/$defs/node",
+            "$defs": {
+                "node": {
+                    "type": "object",
+                    "properties": {
+                        "next": {"$ref": "#/$defs/node"},
+                    },
+                }
+            },
+        }
+        assert validate({"next": {"next": {}}}, schema) == []
+        with pytest.raises(SchemaError):
+            validate({"next": 3}, schema)
+
+    def test_nonlocal_ref_rejected(self):
+        with pytest.raises(SchemaError, match="only local refs"):
+            validate({}, {"$ref": "https://example.com/schema"})
+
+    def test_dangling_ref_rejected(self):
+        with pytest.raises(SchemaError, match="does not resolve"):
+            validate({}, {"$ref": "#/$defs/missing"})
+
+
+class TestUnsupportedKeywords:
+    def test_unsupported_keyword_raises_instead_of_passing(self):
+        # A silently ignored keyword would make the schema lie; the
+        # validator refuses schemas it cannot fully enforce.
+        with pytest.raises(SchemaError, match="unsupported keywords"):
+            validate([1], {"type": "array", "uniqueItems": True})
+
+
+class TestCommittedSchema:
+    def test_schema_file_stays_inside_the_supported_subset(self):
+        schema = json.loads(SCHEMA_PATH.read_text())
+        # An empty scenario document is valid; walking it forces every
+        # top-level keyword through the interpreter.
+        empty = {
+            "repetitions": [],
+            "counters": {},
+            "gauges": {},
+            "fallbacks": {},
+            "shards": {},
+        }
+        assert validate(empty, schema) == []
+
+    def test_schema_rejects_malformed_span(self):
+        schema = json.loads(SCHEMA_PATH.read_text())
+        document = {
+            "repetitions": [{
+                "version": 1,
+                "counters": {},
+                "gauges": {},
+                "histograms": {},
+                "fallbacks": {},
+                "shards": {},
+                "spans": [{"name": "run"}],  # missing start/dur/children
+            }],
+            "counters": {},
+            "gauges": {},
+            "fallbacks": {},
+            "shards": {},
+        }
+        with pytest.raises(SchemaError, match="missing required"):
+            validate(document, schema)

@@ -92,6 +92,31 @@ class TestCompareGate:
         }
         assert statuses == {"missing"}
 
+    def test_counter_blocks_tolerated_in_both_directions(self):
+        # Pre-telemetry baselines compare against instrumented reports and
+        # vice versa: the counter block is surfaced when present, None when
+        # absent, and never affects the status.
+        with_counters = _result(1000.0)
+        with_counters["telemetry"] = {
+            "counters": {"events_dispatched": 100},
+            "gauges": {}, "histograms": {}, "fallbacks": {}, "shards": {},
+        }
+        without = _result(1000.0)
+
+        (entry,) = harness.compare_reports(
+            _report({"a": dict(without)}), _report({"a": with_counters})
+        )
+        assert entry["status"] == "ok"
+        assert entry["baseline_counters"] is None
+        assert entry["current_counters"] == {"events_dispatched": 100}
+
+        (entry,) = harness.compare_reports(
+            _report({"a": with_counters}), _report({"a": dict(without)})
+        )
+        assert entry["status"] == "ok"
+        assert entry["baseline_counters"] == {"events_dispatched": 100}
+        assert entry["current_counters"] is None
+
 
 # ----------------------------------------------------------------------
 # Memory gate (memory_gate)
@@ -124,6 +149,37 @@ class TestMemoryGate:
         )
         result = harness.run_scenario(scenario, repeats=1, warmup=0)
         assert result["memory_budget_mib"] == 123.0
+
+
+# ----------------------------------------------------------------------
+# Telemetry collection and the overhead gate
+# ----------------------------------------------------------------------
+class TestTelemetryCollection:
+    def test_collect_telemetry_embeds_counter_block(self):
+        scenario = harness.flood_scenario("probe", size=30, degree=4)
+        result = harness.run_scenario(
+            scenario, repeats=1, warmup=0, collect_telemetry=True
+        )
+        telemetry = result["telemetry"]
+        assert telemetry["counters"]["events_dispatched"] > 0
+        # Spans would churn every report diff with wall-clock noise.
+        assert "spans" not in telemetry
+
+    def test_collect_telemetry_off_by_default(self):
+        scenario = harness.flood_scenario("probe", size=30, degree=4)
+        result = harness.run_scenario(scenario, repeats=1, warmup=0)
+        assert "telemetry" not in result
+
+    def test_telemetry_overhead_measures_both_sides(self, monkeypatch):
+        scenario = harness.flood_scenario("probe", size=30, degree=4)
+        monkeypatch.setitem(harness.SCENARIOS, "probe", scenario)
+        gate = harness.telemetry_overhead("probe", repeats=1, warmup=0)
+        assert gate["name"] == "probe"
+        assert gate["off_seconds"] > 0
+        assert gate["on_seconds"] > 0
+        assert gate["overhead"] == pytest.approx(
+            gate["on_seconds"] / gate["off_seconds"] - 1.0
+        )
 
 
 # ----------------------------------------------------------------------
@@ -233,6 +289,92 @@ class TestCliGates:
         out = capsys.readouterr().out
         assert code == 0
         assert "new scenario, no baseline" in out
+
+    def test_old_baseline_without_counters_compares_clean(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        # A report written before the telemetry subsystem has no counter
+        # blocks; comparing against it must print the tolerant counter
+        # line and exit zero.
+        _stub_suite(monkeypatch, budget_mib=1e9)
+        baseline = tmp_path / "BENCH_base.json"
+        baseline.write_text(json.dumps(_report(
+            {"stub_tier": _result(1e-9)}
+        )))
+        code = bench_cli.main(
+            ["--scenarios", "stub_tier", "--repeats", "1", "--warmup", "0",
+             "--label", "gate", "--output-dir", str(tmp_path), "--no-write",
+             "--baseline", str(baseline)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "counters: events_dispatched - ->" in out
+
+    def test_smoke_overhead_gate_trips(self, monkeypatch, tmp_path, capsys):
+        # The gate itself rides on --smoke and the flood tier's presence;
+        # stub both and force an over-threshold measurement.
+        scenario = harness.flood_scenario(
+            "e11_flood_5000", size=30, degree=4, smoke=True
+        )
+        monkeypatch.setattr(
+            harness, "SCENARIOS", {scenario.name: scenario}
+        )
+        monkeypatch.setattr(
+            harness,
+            "telemetry_overhead",
+            lambda name, repeats=3, warmup=1: {
+                "name": name,
+                "off_seconds": 1.0,
+                "on_seconds": 1.10,
+                "overhead": 0.10,
+            },
+        )
+        code = bench_cli.main(
+            ["--smoke", "--repeats", "1", "--warmup", "0",
+             "--label", "gate", "--output-dir", str(tmp_path),
+             "--no-write", "--no-compare"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL: enabled-telemetry overhead above threshold" in out
+
+    def test_smoke_overhead_gate_threshold_overridable(
+        self, monkeypatch, tmp_path
+    ):
+        scenario = harness.flood_scenario(
+            "e11_flood_5000", size=30, degree=4, smoke=True
+        )
+        monkeypatch.setattr(
+            harness, "SCENARIOS", {scenario.name: scenario}
+        )
+        monkeypatch.setattr(
+            harness,
+            "telemetry_overhead",
+            lambda name, repeats=3, warmup=1: {
+                "name": name,
+                "off_seconds": 1.0,
+                "on_seconds": 1.10,
+                "overhead": 0.10,
+            },
+        )
+        code = bench_cli.main(
+            ["--smoke", "--repeats", "1", "--warmup", "0",
+             "--label", "gate", "--output-dir", str(tmp_path),
+             "--no-write", "--no-compare",
+             "--telemetry-overhead-threshold", "0.5"]
+        )
+        assert code == 0
+
+    def test_no_telemetry_skips_gate_and_counters(
+        self, monkeypatch, tmp_path
+    ):
+        _stub_suite(monkeypatch, budget_mib=1e9)
+        code = bench_cli.main(
+            ["--scenarios", "stub_tier", "--repeats", "1", "--warmup", "0",
+             "--label", "gate", "--output-dir", str(tmp_path),
+             "--no-write", "--no-compare", "--no-telemetry"]
+        )
+        assert code == 0
 
     def test_baseline_only_scenario_reported_as_unmeasured(
         self, monkeypatch, tmp_path, capsys
